@@ -1,0 +1,78 @@
+// Ablation: lookahead decay factor (the design change Sec. IV-C proposes).
+//
+// The paper's case study attributes a suboptimal SABRE decision to the
+// *uniform* weighting of the 20-gate extended set, and suggests decaying
+// the weight of far-away gates. This bench sweeps the decay factor
+// lambda over QUBIKOS suites and reports the resulting optimality gap —
+// quantifying whether (and where) the proposed fix helps the full tool.
+#include <cstdio>
+
+#include "arch/architectures.hpp"
+#include "bench_common.hpp"
+#include "core/suite.hpp"
+#include "eval/harness.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace qubikos;
+    bench::print_header("Ablation: extended-set (lookahead) decay factor in SABRE",
+                        "design-choice ablation motivated by Sec. IV-C");
+
+    int per_count = 3;
+    int trials = 20;
+    switch (bench::bench_scale()) {
+        case bench::scale::smoke:
+            per_count = 1;
+            trials = 4;
+            break;
+        case bench::scale::standard: break;
+        case bench::scale::paper:
+            per_count = 10;
+            trials = 200;
+            break;
+    }
+
+    const double lambdas[] = {1.0, 0.9, 0.8, 0.6, 0.4};
+    ascii_table table({"arch", "lambda", "mean gap", "avg s/circuit"});
+    csv::writer raw({"arch", "lambda", "designed_n", "swap_ratio"});
+
+    for (const auto& device : {arch::aspen4(), arch::sycamore54()}) {
+        core::suite_spec spec;
+        spec.arch_name = device.name;
+        spec.swap_counts = {5, 10, 15, 20};
+        spec.circuits_per_count = per_count;
+        spec.total_two_qubit_gates = device.num_qubits() > 20 ? 1500 : 300;
+        spec.base_seed = 777;
+        const core::suite s = core::generate_suite(device, spec);
+
+        for (const double lambda : lambdas) {
+            std::vector<eval::tool> tools;
+            router::sabre_options sabre;
+            sabre.trials = trials;
+            sabre.lookahead_decay = lambda;
+            tools.push_back({"sabre", [sabre](const circuit& c, const graph& g) {
+                                 return router::route_sabre(c, g, sabre);
+                             }});
+            const auto result = eval::evaluate_suite(s, device, tools);
+            if (result.invalid_runs != 0) {
+                std::printf("ERROR: invalid routings at lambda=%.1f\n", lambda);
+                return 1;
+            }
+            double seconds = 0.0;
+            for (const auto& cell : result.cells) {
+                seconds += cell.average_seconds;
+                raw.add(device.name, lambda, cell.designed_swaps, cell.swap_ratio);
+            }
+            table.add(device.name, ascii_table::num(lambda, 1),
+                      ascii_table::num(eval::mean_ratio(result.cells, "sabre"), 2) + "x",
+                      ascii_table::num(seconds / 4.0, 3));
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+    std::printf("interpretation: lambda = 1.0 is Qiskit's uniform extended set; smaller\n"
+                "lambda emphasizes near-future gates as Sec. IV-C proposes. The effect is\n"
+                "instance-dependent — QUBIKOS makes the comparison controlled because the\n"
+                "optimum is known exactly.\n");
+    bench::save_results(raw, "ablation_lookahead");
+    return 0;
+}

@@ -1,0 +1,113 @@
+// Benchmark-family contrast (Sec. I / Sec. III-C of the paper).
+//
+// Why does QUBIKOS exist? Because the prior families cannot measure an
+// optimality gap:
+//   - QUEKO circuits are solvable with 0 swaps by plain subgraph
+//     isomorphism (VF2) — they don't exercise routing at all;
+//   - QUEKNO circuits come with a construction cost that is only an
+//     upper bound — measured "gaps" can be negative w.r.t. the truth;
+//   - QUBIKOS circuits carry a certified optimum: the exact solver
+//     always lands exactly on the designed count, and VF2 provably
+//     cannot solve them.
+// This bench demonstrates all three claims mechanically on a small
+// architecture where the exact solver is fast.
+#include <cstdio>
+
+#include "arch/architectures.hpp"
+#include "bench_common.hpp"
+#include "circuit/interaction.hpp"
+#include "core/qubikos.hpp"
+#include "core/queko.hpp"
+#include "core/quekno.hpp"
+#include "exact/olsq.hpp"
+#include "graph/vf2.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace qubikos;
+    bench::print_header("Benchmark-family contrast: QUEKO vs QUEKNO vs QUBIKOS",
+                        "Sec. I motivation + Sec. III-C (why VF2 cannot solve QUBIKOS)");
+
+    int per_family = 15;
+    switch (bench::bench_scale()) {
+        case bench::scale::smoke: per_family = 4; break;
+        case bench::scale::standard: per_family = 15; break;
+        case bench::scale::paper: per_family = 50; break;
+    }
+
+    const auto device = arch::grid(3, 3);
+    csv::writer raw({"family", "seed", "claimed", "exact_optimal", "vf2_solvable"});
+
+    // QUEKO: claimed 0 swaps, VF2-solvable.
+    int queko_vf2 = 0;
+    int queko_exact_zero = 0;
+    for (int seed = 1; seed <= per_family; ++seed) {
+        const auto instance = core::generate_queko(
+            device, {.depth = 8, .density = 0.6, .seed = static_cast<std::uint64_t>(seed)});
+        const graph gi = interaction_graph(instance.logical);
+        const bool vf2_ok = is_subgraph_monomorphic(gi, device.coupling);
+        if (vf2_ok) ++queko_vf2;
+        const auto exact = exact::solve_optimal(instance.logical, device.coupling, {.max_swaps = 2});
+        const bool zero = exact.solved && exact.optimal_swaps == 0;
+        if (zero) ++queko_exact_zero;
+        raw.add("queko", seed, 0, exact.optimal_swaps, vf2_ok ? 1 : 0);
+    }
+
+    // QUEKNO: claimed = construction swaps; exact can be strictly lower.
+    int quekno_loose = 0;
+    int quekno_tight = 0;
+    for (int seed = 1; seed <= per_family; ++seed) {
+        const auto instance = core::generate_quekno(
+            device,
+            {.num_transitions = 2, .gates_per_epoch = 5, .seed = static_cast<std::uint64_t>(seed)});
+        const auto exact =
+            exact::solve_optimal(instance.logical, device.coupling, {.max_swaps = 4});
+        if (!exact.solved) continue;
+        if (exact.optimal_swaps < instance.construction_swaps) {
+            ++quekno_loose;
+        } else {
+            ++quekno_tight;
+        }
+        raw.add("quekno", seed, instance.construction_swaps, exact.optimal_swaps, 0);
+    }
+
+    // QUBIKOS: claimed = certified optimum; VF2 must fail on every section.
+    int qubikos_exact_match = 0;
+    int qubikos_vf2_defeated = 0;
+    for (int seed = 1; seed <= per_family; ++seed) {
+        core::generator_options options;
+        options.num_swaps = 2;
+        options.total_two_qubit_gates = 25;
+        options.seed = static_cast<std::uint64_t>(seed);
+        const auto instance = core::generate(device, options);
+        const auto exact =
+            exact::solve_optimal(instance.logical, device.coupling, {.max_swaps = 4});
+        if (exact.solved && exact.optimal_swaps == instance.optimal_swaps) ++qubikos_exact_match;
+        const graph gi = interaction_graph(instance.logical);
+        if (!is_subgraph_monomorphic(gi, device.coupling)) ++qubikos_vf2_defeated;
+        raw.add("qubikos", seed, instance.optimal_swaps,
+                exact.solved ? exact.optimal_swaps : -1, 0);
+    }
+
+    ascii_table table({"family", "claim", "property measured", "result"});
+    table.add("QUEKO", "0 swaps, depth-optimal", "VF2 finds a 0-swap mapping",
+              std::to_string(queko_vf2) + "/" + std::to_string(per_family));
+    table.add("QUEKO", "", "exact optimum is 0",
+              std::to_string(queko_exact_zero) + "/" + std::to_string(per_family));
+    table.add("QUEKNO", "near-optimal cost", "construction cost NOT optimal (loose)",
+              std::to_string(quekno_loose) + "/" + std::to_string(quekno_loose + quekno_tight));
+    table.add("QUBIKOS", "certified optimal count", "exact solver matches exactly",
+              std::to_string(qubikos_exact_match) + "/" + std::to_string(per_family));
+    table.add("QUBIKOS", "", "VF2 cannot solve (non-isomorphic)",
+              std::to_string(qubikos_vf2_defeated) + "/" + std::to_string(per_family));
+    std::printf("%s\n", table.str().c_str());
+
+    std::printf("paper claims:    QUEKO is VF2-solvable; QUEKNO costs are unproven upper\n"
+                "                 bounds; QUBIKOS counts are exact and VF2-proof.\n");
+    const bool ok = queko_vf2 == per_family && queko_exact_zero == per_family &&
+                    qubikos_exact_match == per_family && qubikos_vf2_defeated == per_family;
+    std::printf("measured result: %s (QUEKNO loose on %d instances)\n",
+                ok ? "all three claims hold" : "MISMATCH — see table", quekno_loose);
+    bench::save_results(raw, "benchmark_contrast");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+// Fig. 4(a): tool evaluation on Rigetti Aspen-4 (16 qubits, 300 gates).
+#include "fig4_common.hpp"
+
+int main() {
+    using namespace qubikos;
+    bench::fig4_config config{
+        "Fig. 4(a) — Aspen-4, swap counts {5,10,15,20}, 300 two-qubit gates",
+        arch::aspen4(),
+        300,
+        {{"lightsabre", "~1x (optimal)"},
+         {"mlqls", "~1x (optimal)"},
+         {"qmap", "207x"},
+         {"tket", "185x"}},
+    };
+    return bench::run_fig4(config);
+}

@@ -1,0 +1,18 @@
+// Fig. 4(d): tool evaluation on IBM Eagle (127 qubits, 3000 gates) — the
+// architecture where every tool's gap explodes (LightSABRE 233.97x,
+// tket 846x, QMAP 930x in the paper).
+#include "fig4_common.hpp"
+
+int main() {
+    using namespace qubikos;
+    bench::fig4_config config{
+        "Fig. 4(d) — Eagle, swap counts {5,10,15,20}, 3000 two-qubit gates",
+        arch::eagle127(),
+        3000,
+        {{"lightsabre", "233.97x"},
+         {"mlqls", "worse than lightsabre"},
+         {"qmap", "930x"},
+         {"tket", "846x"}},
+    };
+    return bench::run_fig4(config);
+}

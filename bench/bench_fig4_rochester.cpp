@@ -1,0 +1,18 @@
+// Fig. 4(c): tool evaluation on IBM Rochester (53 qubits, 1500 gates).
+// Rochester's heavy-hex sparsity makes its gap ~6x Sycamore's despite the
+// similar qubit count (Sec. IV-B).
+#include "fig4_common.hpp"
+
+int main() {
+    using namespace qubikos;
+    bench::fig4_config config{
+        "Fig. 4(c) — Rochester, swap counts {5,10,15,20}, 1500 two-qubit gates",
+        arch::rochester53(),
+        1500,
+        {{"lightsabre", "12.17x"},
+         {"mlqls", "~optimal per paper"},
+         {"qmap", "large (hundreds x)"},
+         {"tket", "large (hundreds x)"}},
+    };
+    return bench::run_fig4(config);
+}

@@ -1,0 +1,16 @@
+// Fig. 4(b): tool evaluation on Google Sycamore (54 qubits, 1500 gates).
+#include "fig4_common.hpp"
+
+int main() {
+    using namespace qubikos;
+    bench::fig4_config config{
+        "Fig. 4(b) — Sycamore, swap counts {5,10,15,20}, 1500 two-qubit gates",
+        arch::sycamore54(),
+        1500,
+        {{"lightsabre", "1.95x"},
+         {"mlqls", "close to lightsabre"},
+         {"qmap", "large (hundreds x)"},
+         {"tket", "large (hundreds x)"}},
+    };
+    return bench::run_fig4(config);
+}

@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark): throughput of the core components.
+// Not a paper table — evidence that generation and verification are cheap
+// enough to produce suites at the paper's scale (and far beyond).
+#include <benchmark/benchmark.h>
+
+#include "arch/architectures.hpp"
+#include "circuit/dag.hpp"
+#include "circuit/interaction.hpp"
+#include "core/qubikos.hpp"
+#include "core/verifier.hpp"
+#include "exact/olsq.hpp"
+#include "graph/distance.hpp"
+#include "graph/vf2.hpp"
+#include "router/mlqls.hpp"
+#include "router/qmap.hpp"
+#include "router/sabre.hpp"
+#include "router/tket.hpp"
+
+namespace {
+
+using namespace qubikos;
+
+const arch::architecture& device_by_index(int index) {
+    static const auto platforms = arch::paper_platforms();
+    return platforms[static_cast<std::size_t>(index)];
+}
+
+core::benchmark_instance make_instance(const arch::architecture& device, int swaps,
+                                       std::size_t gates) {
+    core::generator_options options;
+    options.num_swaps = swaps;
+    options.total_two_qubit_gates = gates;
+    options.seed = 99;
+    return core::generate(device, options);
+}
+
+void bm_generate(benchmark::State& state) {
+    const auto& device = device_by_index(static_cast<int>(state.range(0)));
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        core::generator_options options;
+        options.num_swaps = 10;
+        options.total_two_qubit_gates = 500;
+        options.seed = seed++;
+        benchmark::DoNotOptimize(core::generate(device, options));
+    }
+    state.SetLabel(device.name);
+}
+BENCHMARK(bm_generate)->DenseRange(0, 3);
+
+void bm_verify_structure(benchmark::State& state) {
+    const auto& device = device_by_index(static_cast<int>(state.range(0)));
+    const auto instance = make_instance(device, 10, 500);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::verify_structure(instance, device));
+    }
+    state.SetLabel(device.name);
+}
+BENCHMARK(bm_verify_structure)->DenseRange(0, 3);
+
+void bm_vf2_nonisomorphism(benchmark::State& state) {
+    const auto& device = device_by_index(static_cast<int>(state.range(0)));
+    const auto instance = make_instance(device, 5, 300);
+    std::vector<edge> edges = instance.sections.front().body;
+    edges.push_back(instance.sections.front().special);
+    const graph gi = interaction_graph_of_edges(device.num_qubits(), edges);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(find_subgraph_monomorphism(gi, device.coupling));
+    }
+    state.SetLabel(device.name);
+}
+BENCHMARK(bm_vf2_nonisomorphism)->DenseRange(0, 3);
+
+void bm_distance_matrix(benchmark::State& state) {
+    const auto& device = device_by_index(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(distance_matrix(device.coupling));
+    }
+    state.SetLabel(device.name);
+}
+BENCHMARK(bm_distance_matrix)->DenseRange(0, 3);
+
+void bm_gate_dag(benchmark::State& state) {
+    const auto instance = make_instance(arch::sycamore54(), 10, 1500);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gate_dag(instance.logical));
+    }
+}
+BENCHMARK(bm_gate_dag);
+
+void bm_exact_solve_n2(benchmark::State& state) {
+    const auto device = arch::aspen4();
+    const auto instance = make_instance(device, 2, 30);
+    for (auto _ : state) {
+        exact::olsq_options options;
+        options.max_swaps = 3;
+        benchmark::DoNotOptimize(
+            exact::solve_optimal(instance.logical, device.coupling, options));
+    }
+}
+BENCHMARK(bm_exact_solve_n2);
+
+void bm_route_sabre_1trial(benchmark::State& state) {
+    const auto& device = device_by_index(static_cast<int>(state.range(0)));
+    const auto instance =
+        make_instance(device, 10, device.num_qubits() > 100 ? 3000 : 500);
+    for (auto _ : state) {
+        router::sabre_options options;
+        options.trials = 1;
+        benchmark::DoNotOptimize(
+            router::route_sabre(instance.logical, device.coupling, options));
+    }
+    state.SetLabel(device.name);
+}
+BENCHMARK(bm_route_sabre_1trial)->DenseRange(0, 3);
+
+void bm_route_tket(benchmark::State& state) {
+    const auto device = arch::sycamore54();
+    const auto instance = make_instance(device, 10, 1500);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(router::route_tket(instance.logical, device.coupling));
+    }
+}
+BENCHMARK(bm_route_tket);
+
+void bm_route_qmap(benchmark::State& state) {
+    const auto device = arch::aspen4();
+    const auto instance = make_instance(device, 10, 300);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(router::route_qmap(instance.logical, device.coupling));
+    }
+}
+BENCHMARK(bm_route_qmap);
+
+void bm_route_mlqls(benchmark::State& state) {
+    const auto device = arch::sycamore54();
+    const auto instance = make_instance(device, 10, 1500);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(router::route_mlqls(instance.logical, device.coupling, {}));
+    }
+}
+BENCHMARK(bm_route_mlqls);
+
+}  // namespace
+
+BENCHMARK_MAIN();

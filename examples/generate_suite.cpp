@@ -1,0 +1,60 @@
+// Suite generation: produce a QUBIKOS benchmark release for an
+// architecture, as QASM + JSON metadata on disk.
+//
+//   $ ./generate_suite [arch] [out_dir] [gates] [per_count] [seed]
+//   $ ./generate_suite sycamore54 ./suite_sycamore 1500 10 1
+//
+// Defaults reproduce the paper's Aspen-4 configuration (swap counts
+// 5/10/15/20, 300 two-qubit gates).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "core/suite.hpp"
+#include "core/verifier.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace qubikos;
+
+    const std::string arch_name = argc > 1 ? argv[1] : "aspen4";
+    const std::string out_dir = argc > 2 ? argv[2] : "./suite_" + arch_name;
+    const std::size_t gates = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 300;
+    const int per_count = argc > 4 ? std::atoi(argv[4]) : 10;
+    const std::uint64_t seed = argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 1;
+
+    const arch::architecture device = arch::by_name(arch_name);
+
+    core::suite_spec spec;
+    spec.arch_name = device.name;
+    spec.swap_counts = {5, 10, 15, 20};
+    spec.circuits_per_count = per_count;
+    spec.total_two_qubit_gates = gates;
+    spec.base_seed = seed;
+
+    std::printf("generating %zu x %d QUBIKOS circuits for %s...\n", spec.swap_counts.size(),
+                per_count, device.name.c_str());
+    const core::suite s = core::generate_suite(device, spec);
+
+    ascii_table table({"instance", "optimal swaps", "2q gates", "verified"});
+    int verified = 0;
+    for (std::size_t i = 0; i < s.instances.size(); ++i) {
+        const auto& instance = s.instances[i];
+        const auto report = core::verify_structure(instance, device);
+        if (report.valid) ++verified;
+        table.add("#" + std::to_string(i), instance.optimal_swaps,
+                  instance.logical.num_two_qubit_gates(),
+                  report.valid ? std::string("yes") : report.error);
+    }
+    std::printf("%s", table.str().c_str());
+    std::printf("structural verification: %d/%zu\n", verified, s.instances.size());
+
+    core::save_suite(s, out_dir);
+    std::printf("saved suite (QASM + JSON metadata) to %s\n", out_dir.c_str());
+
+    // Round-trip check.
+    const core::suite loaded = core::load_suite(out_dir);
+    std::printf("reload check: %zu instances loaded back\n", loaded.instances.size());
+    return verified == static_cast<int>(s.instances.size()) ? 0 : 1;
+}

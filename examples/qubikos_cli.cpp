@@ -1,0 +1,180 @@
+// qubikos_cli — command-line driver for the whole library.
+//
+//   qubikos_cli arches
+//   qubikos_cli generate <arch> <swaps> <gates> <seed> [out_prefix]
+//   qubikos_cli suite <arch> <out_dir> [gates] [per_count] [seed]
+//   qubikos_cli verify <suite_dir>
+//   qubikos_cli certify <suite_dir> [conflict_limit]
+//   qubikos_cli route <tool> <arch> <circuit.qasm> [trials]
+//
+// Tools: lightsabre | mlqls | qmap | tket.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "circuit/qasm.hpp"
+#include "core/qubikos.hpp"
+#include "core/suite.hpp"
+#include "core/verifier.hpp"
+#include "eval/harness.hpp"
+#include "exact/olsq.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace qubikos;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  qubikos_cli arches\n"
+                 "  qubikos_cli generate <arch> <swaps> <gates> <seed> [out_prefix]\n"
+                 "  qubikos_cli suite <arch> <out_dir> [gates] [per_count] [seed]\n"
+                 "  qubikos_cli verify <suite_dir>\n"
+                 "  qubikos_cli certify <suite_dir> [conflict_limit]\n"
+                 "  qubikos_cli route <tool> <arch> <circuit.qasm> [trials]\n");
+    return 2;
+}
+
+int cmd_arches() {
+    for (const auto& name : arch::known_names()) {
+        if (name.find('<') != std::string::npos) {
+            std::printf("%-14s (parametric)\n", name.c_str());
+            continue;
+        }
+        const auto device = arch::by_name(name);
+        std::printf("%-14s %3d qubits, %3d couplers\n", name.c_str(), device.num_qubits(),
+                    device.num_couplers());
+    }
+    return 0;
+}
+
+int cmd_generate(int argc, char** argv) {
+    if (argc < 6) return usage();
+    const auto device = arch::by_name(argv[2]);
+    core::generator_options options;
+    options.num_swaps = std::atoi(argv[3]);
+    options.total_two_qubit_gates = static_cast<std::size_t>(std::atoll(argv[4]));
+    options.seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+    const auto instance = core::generate(device, options);
+    const auto report = core::verify_structure(instance, device);
+    std::printf("arch=%s optimal_swaps=%d two_qubit_gates=%zu verified=%s\n",
+                device.name.c_str(), instance.optimal_swaps,
+                instance.logical.num_two_qubit_gates(),
+                report.valid ? "yes" : report.error.c_str());
+    if (argc > 6) {
+        const std::string prefix = argv[6];
+        qasm::save(instance.logical, prefix + ".qasm");
+        qasm::save(instance.answer.physical, prefix + ".answer.qasm");
+        std::printf("wrote %s.qasm and %s.answer.qasm\n", prefix.c_str(), prefix.c_str());
+    }
+    return report.valid ? 0 : 1;
+}
+
+int cmd_suite(int argc, char** argv) {
+    if (argc < 4) return usage();
+    const auto device = arch::by_name(argv[2]);
+    core::suite_spec spec;
+    spec.arch_name = device.name;
+    spec.swap_counts = {5, 10, 15, 20};
+    spec.total_two_qubit_gates = argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 300;
+    spec.circuits_per_count = argc > 5 ? std::atoi(argv[5]) : 10;
+    spec.base_seed = argc > 6 ? static_cast<std::uint64_t>(std::atoll(argv[6])) : 1;
+    const auto s = core::generate_suite(device, spec);
+    core::save_suite(s, argv[3]);
+    std::printf("wrote %zu instances to %s\n", s.instances.size(), argv[3]);
+    return 0;
+}
+
+int cmd_verify(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const auto s = core::load_suite(argv[2]);
+    const auto device = arch::by_name(s.spec.arch_name);
+    int ok = 0;
+    for (std::size_t i = 0; i < s.instances.size(); ++i) {
+        const auto report = core::verify_structure(s.instances[i], device);
+        if (report.valid) {
+            ++ok;
+        } else {
+            std::printf("instance #%zu FAILED: %s\n", i, report.error.c_str());
+        }
+    }
+    std::printf("structural verification: %d/%zu\n", ok, s.instances.size());
+    return ok == static_cast<int>(s.instances.size()) ? 0 : 1;
+}
+
+int cmd_certify(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const auto s = core::load_suite(argv[2]);
+    const auto device = arch::by_name(s.spec.arch_name);
+    const std::uint64_t conflict_limit =
+        argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 0;
+    int confirmed = 0;
+    int aborted = 0;
+    for (std::size_t i = 0; i < s.instances.size(); ++i) {
+        const auto& instance = s.instances[i];
+        exact::olsq_options options;
+        options.min_swaps = instance.optimal_swaps > 0 ? instance.optimal_swaps - 1 : 0;
+        options.max_swaps = instance.optimal_swaps + 1;
+        options.conflict_limit = conflict_limit;
+        stopwatch timer;
+        const auto result = exact::solve_optimal(instance.logical, device.coupling, options);
+        if (result.aborted) {
+            ++aborted;
+            std::printf("instance #%zu: aborted (conflict limit)\n", i);
+        } else if (result.solved && result.optimal_swaps == instance.optimal_swaps) {
+            ++confirmed;
+            std::printf("instance #%zu: confirmed optimal=%d (%.2fs)\n", i,
+                        result.optimal_swaps, timer.seconds());
+        } else {
+            std::printf("instance #%zu: MISMATCH (solver says %d, declared %d)\n", i,
+                        result.optimal_swaps, instance.optimal_swaps);
+        }
+    }
+    std::printf("certified %d/%zu (%d aborted)\n", confirmed, s.instances.size(), aborted);
+    return confirmed + aborted == static_cast<int>(s.instances.size()) ? 0 : 1;
+}
+
+int cmd_route(int argc, char** argv) {
+    if (argc < 5) return usage();
+    const std::string tool_name = argv[2];
+    const auto device = arch::by_name(argv[3]);
+    const circuit logical = qasm::load(argv[4]);
+    eval::toolbox_options toolbox;
+    toolbox.sabre_trials = argc > 5 ? std::atoi(argv[5]) : 32;
+    for (const auto& tool : eval::paper_toolbox(toolbox)) {
+        if (tool.name != tool_name) continue;
+        stopwatch timer;
+        const auto routed = tool.run(logical, device.coupling);
+        const auto report = validate_routed(logical, routed, device.coupling);
+        if (!report.valid) {
+            std::printf("INVALID routing: %s\n", report.error.c_str());
+            return 1;
+        }
+        std::printf("tool=%s swaps=%zu seconds=%.3f\n", tool.name.c_str(), report.swap_count,
+                    timer.seconds());
+        return 0;
+    }
+    std::fprintf(stderr, "unknown tool '%s' (lightsabre|mlqls|qmap|tket)\n", tool_name.c_str());
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    try {
+        if (std::strcmp(argv[1], "arches") == 0) return cmd_arches();
+        if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
+        if (std::strcmp(argv[1], "suite") == 0) return cmd_suite(argc, argv);
+        if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
+        if (std::strcmp(argv[1], "certify") == 0) return cmd_certify(argc, argv);
+        if (std::strcmp(argv[1], "route") == 0) return cmd_route(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,95 @@
+#include "circuit/gate.hpp"
+
+#include <stdexcept>
+
+namespace qubikos {
+
+bool is_two_qubit_kind(gate_kind kind) {
+    switch (kind) {
+        case gate_kind::cx:
+        case gate_kind::cz:
+        case gate_kind::swap: return true;
+        default: return false;
+    }
+}
+
+bool is_rotation_kind(gate_kind kind) {
+    switch (kind) {
+        case gate_kind::rx:
+        case gate_kind::ry:
+        case gate_kind::rz: return true;
+        default: return false;
+    }
+}
+
+const char* gate_name(gate_kind kind) {
+    switch (kind) {
+        case gate_kind::h: return "h";
+        case gate_kind::x: return "x";
+        case gate_kind::y: return "y";
+        case gate_kind::z: return "z";
+        case gate_kind::s: return "s";
+        case gate_kind::sdg: return "sdg";
+        case gate_kind::t: return "t";
+        case gate_kind::tdg: return "tdg";
+        case gate_kind::rx: return "rx";
+        case gate_kind::ry: return "ry";
+        case gate_kind::rz: return "rz";
+        case gate_kind::cx: return "cx";
+        case gate_kind::cz: return "cz";
+        case gate_kind::swap: return "swap";
+    }
+    return "?";
+}
+
+gate_kind gate_kind_from_name(const std::string& name) {
+    static const struct {
+        const char* name;
+        gate_kind kind;
+    } table[] = {
+        {"h", gate_kind::h},     {"x", gate_kind::x},     {"y", gate_kind::y},
+        {"z", gate_kind::z},     {"s", gate_kind::s},     {"sdg", gate_kind::sdg},
+        {"t", gate_kind::t},     {"tdg", gate_kind::tdg}, {"rx", gate_kind::rx},
+        {"ry", gate_kind::ry},   {"rz", gate_kind::rz},   {"cx", gate_kind::cx},
+        {"cz", gate_kind::cz},   {"swap", gate_kind::swap},
+    };
+    for (const auto& entry : table) {
+        if (name == entry.name) return entry.kind;
+    }
+    throw std::invalid_argument("unknown gate name: " + name);
+}
+
+gate gate::single(gate_kind kind, int q, double angle) {
+    if (is_two_qubit_kind(kind)) {
+        throw std::invalid_argument("gate::single called with two-qubit kind");
+    }
+    if (q < 0) throw std::invalid_argument("gate::single: negative qubit");
+    gate g;
+    g.kind = kind;
+    g.q0 = q;
+    g.angle = angle;
+    return g;
+}
+
+gate gate::two(gate_kind kind, int q0, int q1) {
+    if (!is_two_qubit_kind(kind)) {
+        throw std::invalid_argument("gate::two called with single-qubit kind");
+    }
+    if (q0 < 0 || q1 < 0) throw std::invalid_argument("gate::two: negative qubit");
+    if (q0 == q1) throw std::invalid_argument("gate::two: identical operands");
+    gate g;
+    g.kind = kind;
+    g.q0 = q0;
+    g.q1 = q1;
+    return g;
+}
+
+std::string gate::str() const {
+    std::string out = gate_name(kind);
+    if (is_rotation_kind(kind)) out += "(" + std::to_string(angle) + ")";
+    out += " q" + std::to_string(q0);
+    if (is_two_qubit()) out += ", q" + std::to_string(q1);
+    return out;
+}
+
+}  // namespace qubikos

@@ -1,0 +1,67 @@
+// Quantum gate model.
+//
+// Layout synthesis only cares about which qubits a gate couples, so gates
+// carry a kind, one or two qubit operands and an optional rotation angle.
+// Single-qubit gates never constrain QLS (Sec. II of the paper) but are
+// kept in the IR so circuits round-trip through QASM unchanged.
+#pragma once
+
+#include <string>
+
+namespace qubikos {
+
+enum class gate_kind {
+    // single-qubit
+    h,
+    x,
+    y,
+    z,
+    s,
+    sdg,
+    t,
+    tdg,
+    rx,
+    ry,
+    rz,
+    // two-qubit
+    cx,
+    cz,
+    swap,
+};
+
+[[nodiscard]] bool is_two_qubit_kind(gate_kind kind);
+[[nodiscard]] bool is_rotation_kind(gate_kind kind);
+/// Lower-case QASM mnemonic ("cx", "rz", ...).
+[[nodiscard]] const char* gate_name(gate_kind kind);
+/// Inverse of gate_name; throws std::invalid_argument on unknown names.
+[[nodiscard]] gate_kind gate_kind_from_name(const std::string& name);
+
+struct gate {
+    gate_kind kind = gate_kind::h;
+    int q0 = 0;
+    /// Second operand for two-qubit gates; -1 otherwise.
+    int q1 = -1;
+    /// Rotation angle for rx/ry/rz; 0 otherwise.
+    double angle = 0.0;
+
+    [[nodiscard]] bool is_two_qubit() const { return is_two_qubit_kind(kind); }
+    [[nodiscard]] bool is_swap() const { return kind == gate_kind::swap; }
+    /// True when the gate touches qubit q.
+    [[nodiscard]] bool acts_on(int q) const { return q0 == q || (is_two_qubit() && q1 == q); }
+
+    [[nodiscard]] std::string str() const;
+
+    // Named constructors keep call sites free of operand-order mistakes.
+    static gate single(gate_kind kind, int q, double angle = 0.0);
+    static gate two(gate_kind kind, int q0, int q1);
+    static gate h(int q) { return single(gate_kind::h, q); }
+    static gate x(int q) { return single(gate_kind::x, q); }
+    static gate rz(int q, double angle) { return single(gate_kind::rz, q, angle); }
+    static gate cx(int control, int target) { return two(gate_kind::cx, control, target); }
+    static gate cz(int a, int b) { return two(gate_kind::cz, a, b); }
+    static gate swap_gate(int a, int b) { return two(gate_kind::swap, a, b); }
+
+    friend bool operator==(const gate&, const gate&) = default;
+};
+
+}  // namespace qubikos

@@ -1,0 +1,27 @@
+#include "circuit/interaction.hpp"
+
+#include <stdexcept>
+
+namespace qubikos {
+
+graph interaction_graph(const circuit& c) { return interaction_graph(c, 0, c.size()); }
+
+graph interaction_graph(const circuit& c, std::size_t first, std::size_t last) {
+    if (first > last || last > c.size()) {
+        throw std::out_of_range("interaction_graph: bad gate range");
+    }
+    graph g(c.num_qubits());
+    for (std::size_t i = first; i < last; ++i) {
+        const gate& gt = c[i];
+        if (gt.is_two_qubit()) g.add_edge_if_absent(gt.q0, gt.q1);
+    }
+    return g;
+}
+
+graph interaction_graph_of_edges(int num_qubits, const std::vector<edge>& pairs) {
+    graph g(num_qubits);
+    for (const auto& e : pairs) g.add_edge_if_absent(e.a, e.b);
+    return g;
+}
+
+}  // namespace qubikos

@@ -1,0 +1,23 @@
+// Interaction graph GI(Q, EQ) of a circuit (Sec. II of the paper): one
+// vertex per program qubit, an edge (q, q') for every pair coupled by at
+// least one two-qubit gate.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+
+namespace qubikos {
+
+/// Interaction graph of the whole circuit.
+[[nodiscard]] graph interaction_graph(const circuit& c);
+
+/// Interaction graph of the gate index range [first, last) only.
+[[nodiscard]] graph interaction_graph(const circuit& c, std::size_t first, std::size_t last);
+
+/// Interaction graph spanned by an explicit list of two-qubit pairs over
+/// `num_qubits` vertices.
+[[nodiscard]] graph interaction_graph_of_edges(int num_qubits, const std::vector<edge>& pairs);
+
+}  // namespace qubikos

@@ -1,0 +1,74 @@
+#include "circuit/mapping.hpp"
+
+#include <stdexcept>
+
+namespace qubikos {
+
+mapping::mapping(int num_program, int num_physical) {
+    if (num_program < 0 || num_physical < 0 || num_program > num_physical) {
+        throw std::invalid_argument("mapping: need 0 <= num_program <= num_physical");
+    }
+    q2p_.resize(static_cast<std::size_t>(num_program));
+    p2q_.assign(static_cast<std::size_t>(num_physical), -1);
+    for (int q = 0; q < num_program; ++q) {
+        q2p_[static_cast<std::size_t>(q)] = q;
+        p2q_[static_cast<std::size_t>(q)] = q;
+    }
+}
+
+mapping mapping::identity(int num_program, int num_physical) {
+    return mapping(num_program, num_physical);
+}
+
+mapping mapping::random(int num_program, int num_physical, rng& random) {
+    mapping m(num_program, num_physical);
+    const auto perm = random.permutation(num_physical);
+    m.p2q_.assign(static_cast<std::size_t>(num_physical), -1);
+    for (int q = 0; q < num_program; ++q) {
+        const int p = perm[static_cast<std::size_t>(q)];
+        m.q2p_[static_cast<std::size_t>(q)] = p;
+        m.p2q_[static_cast<std::size_t>(p)] = q;
+    }
+    return m;
+}
+
+mapping mapping::from_program_to_physical(const std::vector<int>& q2p, int num_physical) {
+    mapping m(0, num_physical);
+    m.q2p_ = q2p;
+    for (int q = 0; q < static_cast<int>(q2p.size()); ++q) {
+        const int p = q2p[static_cast<std::size_t>(q)];
+        if (p < 0 || p >= num_physical) {
+            throw std::invalid_argument("mapping: physical index out of range");
+        }
+        if (m.p2q_[static_cast<std::size_t>(p)] != -1) {
+            throw std::invalid_argument("mapping: not injective at physical " + std::to_string(p));
+        }
+        m.p2q_[static_cast<std::size_t>(p)] = q;
+    }
+    return m;
+}
+
+int mapping::physical(int q) const {
+    if (q < 0 || q >= num_program()) throw std::out_of_range("mapping::physical: bad qubit");
+    return q2p_[static_cast<std::size_t>(q)];
+}
+
+int mapping::program_at(int p) const {
+    if (p < 0 || p >= num_physical()) throw std::out_of_range("mapping::program_at: bad qubit");
+    return p2q_[static_cast<std::size_t>(p)];
+}
+
+void mapping::swap_physical(int p1, int p2) {
+    if (p1 < 0 || p2 < 0 || p1 >= num_physical() || p2 >= num_physical()) {
+        throw std::out_of_range("mapping::swap_physical: bad qubit");
+    }
+    if (p1 == p2) throw std::invalid_argument("mapping::swap_physical: identical qubits");
+    const int q1 = p2q_[static_cast<std::size_t>(p1)];
+    const int q2 = p2q_[static_cast<std::size_t>(p2)];
+    p2q_[static_cast<std::size_t>(p1)] = q2;
+    p2q_[static_cast<std::size_t>(p2)] = q1;
+    if (q1 != -1) q2p_[static_cast<std::size_t>(q1)] = p2;
+    if (q2 != -1) q2p_[static_cast<std::size_t>(q2)] = p1;
+}
+
+}  // namespace qubikos

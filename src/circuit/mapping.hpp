@@ -1,0 +1,50 @@
+// Qubit mapping f: Q -> P from program qubits to physical qubits.
+//
+// Kept as a pair of mutually inverse arrays so that both directions are
+// O(1); SWAP gates act on *physical* qubit pairs and exchange the program
+// qubits residing there.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qubikos {
+
+class mapping {
+public:
+    mapping() = default;
+    /// Identity-prefix mapping: program qubit q sits on physical qubit q.
+    /// Requires num_program <= num_physical.
+    mapping(int num_program, int num_physical);
+
+    [[nodiscard]] static mapping identity(int num_program, int num_physical);
+    [[nodiscard]] static mapping random(int num_program, int num_physical, rng& random);
+    /// Builds from an explicit program->physical array; validates
+    /// injectivity and range.
+    [[nodiscard]] static mapping from_program_to_physical(const std::vector<int>& q2p,
+                                                          int num_physical);
+
+    [[nodiscard]] int num_program() const { return static_cast<int>(q2p_.size()); }
+    [[nodiscard]] int num_physical() const { return static_cast<int>(p2q_.size()); }
+
+    /// Physical location of program qubit q.
+    [[nodiscard]] int physical(int q) const;
+    /// Program qubit residing on physical qubit p, or -1 when empty.
+    [[nodiscard]] int program_at(int p) const;
+
+    /// Exchanges the occupants of physical qubits p1, p2 (either or both
+    /// may be empty).
+    void swap_physical(int p1, int p2);
+
+    /// The same mapping expressed as program->physical vector.
+    [[nodiscard]] const std::vector<int>& program_to_physical() const { return q2p_; }
+
+    friend bool operator==(const mapping&, const mapping&) = default;
+
+private:
+    std::vector<int> q2p_;
+    std::vector<int> p2q_;
+};
+
+}  // namespace qubikos

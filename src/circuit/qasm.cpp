@@ -1,0 +1,230 @@
+#include "circuit/qasm.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qubikos::qasm {
+
+std::string write(const circuit& c) {
+    std::string out;
+    out += "OPENQASM 2.0;\n";
+    out += "include \"qelib1.inc\";\n";
+    out += "qreg q[" + std::to_string(c.num_qubits()) + "];\n";
+    for (const auto& g : c.gates()) {
+        out += gate_name(g.kind);
+        if (is_rotation_kind(g.kind)) {
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "(%.12g)", g.angle);
+            out += buf;
+        }
+        out += " q[" + std::to_string(g.q0) + "]";
+        if (g.is_two_qubit()) out += ",q[" + std::to_string(g.q1) + "]";
+        out += ";\n";
+    }
+    return out;
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& why) {
+    throw std::runtime_error("qasm: line " + std::to_string(line) + ": " + why);
+}
+
+/// Strips // comments and surrounding whitespace.
+std::string clean(std::string text) {
+    const auto comment = text.find("//");
+    if (comment != std::string::npos) text.erase(comment);
+    const auto begin = text.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos) return {};
+    const auto end = text.find_last_not_of(" \t\r\n");
+    return text.substr(begin, end - begin + 1);
+}
+
+struct statement {
+    std::string name;
+    std::string params;           // inside (...) if present
+    std::vector<int> qubits;      // q[i] operand indices
+};
+
+statement parse_statement(const std::string& stmt, int line) {
+    statement out;
+    std::size_t pos = 0;
+    while (pos < stmt.size() &&
+           (std::isalnum(static_cast<unsigned char>(stmt[pos])) || stmt[pos] == '_')) {
+        ++pos;
+    }
+    out.name = stmt.substr(0, pos);
+    if (out.name.empty()) fail(line, "expected statement name");
+    if (pos < stmt.size() && stmt[pos] == '(') {
+        const auto close = stmt.find(')', pos);
+        if (close == std::string::npos) fail(line, "unterminated parameter list");
+        out.params = stmt.substr(pos + 1, close - pos - 1);
+        pos = close + 1;
+    }
+    // Operands: comma-separated q[index] terms.
+    while (pos < stmt.size()) {
+        while (pos < stmt.size() && (stmt[pos] == ' ' || stmt[pos] == ',' || stmt[pos] == '\t')) {
+            ++pos;
+        }
+        if (pos >= stmt.size()) break;
+        const auto open = stmt.find('[', pos);
+        if (open == std::string::npos) fail(line, "expected '[' in operand");
+        const auto close = stmt.find(']', open);
+        if (close == std::string::npos) fail(line, "expected ']' in operand");
+        try {
+            out.qubits.push_back(std::stoi(stmt.substr(open + 1, close - open - 1)));
+        } catch (const std::exception&) {
+            fail(line, "bad qubit index");
+        }
+        pos = close + 1;
+    }
+    return out;
+}
+
+double parse_angle(const std::string& params, int line) {
+    // Supports plain numbers plus the common "pi", "pi/N", "N*pi/M" forms
+    // emitted by other toolchains.
+    std::string s = params;
+    s.erase(std::remove(s.begin(), s.end(), ' '), s.end());
+    if (s.empty()) fail(line, "empty rotation parameter");
+    constexpr double kPi = 3.14159265358979323846;
+    double numerator = 1.0;
+    double denominator = 1.0;
+    bool negative = false;
+    std::size_t pos = 0;
+    if (s[0] == '-') {
+        negative = true;
+        pos = 1;
+    }
+    const auto pi_pos = s.find("pi", pos);
+    if (pi_pos == std::string::npos) {
+        try {
+            return std::stod(s);
+        } catch (const std::exception&) {
+            fail(line, "bad rotation parameter '" + params + "'");
+        }
+    }
+    if (pi_pos > pos) {
+        // leading coefficient like "3*" or "0.5*"
+        std::string coeff = s.substr(pos, pi_pos - pos);
+        if (!coeff.empty() && coeff.back() == '*') coeff.pop_back();
+        try {
+            numerator = std::stod(coeff);
+        } catch (const std::exception&) {
+            fail(line, "bad rotation coefficient '" + params + "'");
+        }
+    }
+    std::size_t after = pi_pos + 2;
+    if (after < s.size()) {
+        if (s[after] != '/') fail(line, "bad rotation parameter '" + params + "'");
+        try {
+            denominator = std::stod(s.substr(after + 1));
+        } catch (const std::exception&) {
+            fail(line, "bad rotation denominator '" + params + "'");
+        }
+    }
+    const double angle = numerator * kPi / denominator;
+    return negative ? -angle : angle;
+}
+
+}  // namespace
+
+circuit parse(const std::string& text) {
+    std::istringstream in(text);
+    std::string raw_line;
+    std::string pending;
+    int line_number = 0;
+
+    bool saw_header = false;
+    int num_qubits = -1;
+    circuit out;
+
+    std::vector<std::pair<std::string, int>> statements;
+    while (std::getline(in, raw_line)) {
+        ++line_number;
+        const std::string cleaned = clean(raw_line);
+        if (!pending.empty() && !cleaned.empty()) pending += ' ';
+        pending += cleaned;
+        // Statements may span lines until ';'.
+        std::size_t semi;
+        while ((semi = pending.find(';')) != std::string::npos) {
+            const std::string stmt = clean(pending.substr(0, semi));
+            pending.erase(0, semi + 1);
+            if (!stmt.empty()) statements.emplace_back(stmt, line_number);
+        }
+    }
+    if (!clean(pending).empty()) fail(line_number, "missing ';' at end of input");
+
+    for (const auto& [stmt, line] : statements) {
+        if (stmt.rfind("OPENQASM", 0) == 0) {
+            saw_header = true;
+            continue;
+        }
+        if (stmt.rfind("include", 0) == 0) continue;
+        if (stmt.rfind("creg", 0) == 0) continue;
+        if (stmt.rfind("barrier", 0) == 0) continue;
+        if (stmt.rfind("measure", 0) == 0) continue;
+        if (stmt.rfind("qreg", 0) == 0) {
+            if (num_qubits != -1) fail(line, "multiple qreg declarations unsupported");
+            const auto open = stmt.find('[');
+            const auto close = stmt.find(']');
+            if (open == std::string::npos || close == std::string::npos || close < open) {
+                fail(line, "malformed qreg");
+            }
+            try {
+                num_qubits = std::stoi(stmt.substr(open + 1, close - open - 1));
+            } catch (const std::exception&) {
+                fail(line, "bad qreg size");
+            }
+            out = circuit(num_qubits);
+            continue;
+        }
+        // Gate application.
+        if (num_qubits == -1) fail(line, "gate before qreg declaration");
+        const statement s = parse_statement(stmt, line);
+        gate_kind kind;
+        try {
+            kind = gate_kind_from_name(s.name);
+        } catch (const std::exception&) {
+            fail(line, "unsupported gate '" + s.name + "'");
+        }
+        const bool two = is_two_qubit_kind(kind);
+        if (two && s.qubits.size() != 2) fail(line, "two-qubit gate needs 2 operands");
+        if (!two && s.qubits.size() != 1) fail(line, "single-qubit gate needs 1 operand");
+        try {
+            if (two) {
+                out.append(gate::two(kind, s.qubits[0], s.qubits[1]));
+            } else {
+                const double angle =
+                    is_rotation_kind(kind) ? parse_angle(s.params, line) : 0.0;
+                out.append(gate::single(kind, s.qubits[0], angle));
+            }
+        } catch (const std::exception& e) {
+            fail(line, e.what());
+        }
+    }
+    if (!saw_header) throw std::runtime_error("qasm: missing OPENQASM header");
+    if (num_qubits == -1) throw std::runtime_error("qasm: missing qreg declaration");
+    return out;
+}
+
+void save(const circuit& c, const std::string& path) {
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("qasm: cannot open " + path);
+    file << write(c);
+}
+
+circuit load(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("qasm: cannot open " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return parse(buffer.str());
+}
+
+}  // namespace qubikos::qasm

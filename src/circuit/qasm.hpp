@@ -1,0 +1,26 @@
+// OpenQASM 2.0 subset reader/writer.
+//
+// QUBIKOS/QUEKO benchmark artifacts are distributed as QASM files; the
+// suite serializer uses this module. The subset covers the gate kinds in
+// gate.hpp, one quantum register, comments, and ignores barrier/measure/
+// classical registers on input.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qubikos::qasm {
+
+/// Renders the circuit as an OpenQASM 2.0 program (register name "q").
+[[nodiscard]] std::string write(const circuit& c);
+
+/// Parses the supported subset; throws std::runtime_error with a line
+/// number on malformed input.
+[[nodiscard]] circuit parse(const std::string& text);
+
+/// File helpers.
+void save(const circuit& c, const std::string& path);
+[[nodiscard]] circuit load(const std::string& path);
+
+}  // namespace qubikos::qasm

@@ -1,0 +1,122 @@
+#include "circuit/routed.hpp"
+
+#include <vector>
+
+namespace qubikos {
+
+namespace {
+
+/// Per-qubit trace entry: what a qubit experiences, in order.
+struct trace_event {
+    gate_kind kind;
+    int partner;  // program qubit partner for two-qubit gates, -1 otherwise
+    double angle;
+
+    friend bool operator==(const trace_event&, const trace_event&) = default;
+};
+
+/// Builds the per-program-qubit event sequences of a logical circuit.
+std::vector<std::vector<trace_event>> logical_traces(const circuit& c) {
+    std::vector<std::vector<trace_event>> traces(static_cast<std::size_t>(c.num_qubits()));
+    for (const auto& g : c.gates()) {
+        if (g.is_two_qubit()) {
+            traces[static_cast<std::size_t>(g.q0)].push_back({g.kind, g.q1, g.angle});
+            traces[static_cast<std::size_t>(g.q1)].push_back({g.kind, g.q0, g.angle});
+        } else {
+            traces[static_cast<std::size_t>(g.q0)].push_back({g.kind, -1, g.angle});
+        }
+    }
+    return traces;
+}
+
+validation_report fail(std::string why) {
+    validation_report r;
+    r.valid = false;
+    r.error = std::move(why);
+    return r;
+}
+
+}  // namespace
+
+validation_report validate_routed(const circuit& logical, const routed_circuit& routed,
+                                  const graph& coupling) {
+    if (routed.initial.num_program() != logical.num_qubits()) {
+        return fail("initial mapping has " + std::to_string(routed.initial.num_program()) +
+                    " program qubits, logical circuit has " +
+                    std::to_string(logical.num_qubits()));
+    }
+    if (routed.initial.num_physical() != coupling.num_vertices()) {
+        return fail("initial mapping covers " + std::to_string(routed.initial.num_physical()) +
+                    " physical qubits, coupling graph has " +
+                    std::to_string(coupling.num_vertices()));
+    }
+    if (routed.physical.num_qubits() != coupling.num_vertices()) {
+        return fail("physical circuit qubit count differs from coupling graph");
+    }
+
+    const auto expected = logical_traces(logical);
+    std::vector<std::size_t> progress(static_cast<std::size_t>(logical.num_qubits()), 0);
+    mapping current = routed.initial;
+
+    std::size_t swaps = 0;
+    for (std::size_t i = 0; i < routed.physical.size(); ++i) {
+        const gate& g = routed.physical[i];
+        if (g.is_two_qubit() && !coupling.has_edge(g.q0, g.q1)) {
+            return fail("gate #" + std::to_string(i) + " (" + g.str() +
+                        ") acts on non-adjacent physical qubits");
+        }
+        if (g.is_swap()) {
+            current.swap_physical(g.q0, g.q1);
+            ++swaps;
+            continue;
+        }
+        const int prog0 = current.program_at(g.q0);
+        if (prog0 == -1) {
+            return fail("gate #" + std::to_string(i) + " touches unoccupied physical qubit " +
+                        std::to_string(g.q0));
+        }
+        if (g.is_two_qubit()) {
+            const int prog1 = current.program_at(g.q1);
+            if (prog1 == -1) {
+                return fail("gate #" + std::to_string(i) +
+                            " touches unoccupied physical qubit " + std::to_string(g.q1));
+            }
+            for (const auto& [self, partner] :
+                 {std::pair{prog0, prog1}, std::pair{prog1, prog0}}) {
+                auto& at = progress[static_cast<std::size_t>(self)];
+                const auto& trace = expected[static_cast<std::size_t>(self)];
+                if (at >= trace.size() ||
+                    !(trace[at] == trace_event{g.kind, partner, g.angle})) {
+                    return fail("gate #" + std::to_string(i) + " (" + g.str() +
+                                ") does not match the logical trace of program qubit q" +
+                                std::to_string(self));
+                }
+                ++at;
+            }
+        } else {
+            auto& at = progress[static_cast<std::size_t>(prog0)];
+            const auto& trace = expected[static_cast<std::size_t>(prog0)];
+            if (at >= trace.size() || !(trace[at] == trace_event{g.kind, -1, g.angle})) {
+                return fail("gate #" + std::to_string(i) + " (" + g.str() +
+                            ") does not match the logical trace of program qubit q" +
+                            std::to_string(prog0));
+            }
+            ++at;
+        }
+    }
+
+    for (int q = 0; q < logical.num_qubits(); ++q) {
+        if (progress[static_cast<std::size_t>(q)] != expected[static_cast<std::size_t>(q)].size()) {
+            return fail("program qubit q" + std::to_string(q) + " executed " +
+                        std::to_string(progress[static_cast<std::size_t>(q)]) + " of " +
+                        std::to_string(expected[static_cast<std::size_t>(q)].size()) + " gates");
+        }
+    }
+
+    validation_report r;
+    r.valid = true;
+    r.swap_count = swaps;
+    return r;
+}
+
+}  // namespace qubikos

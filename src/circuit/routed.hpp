@@ -1,0 +1,46 @@
+// Routed (transpiled) circuits and their validation.
+//
+// A QLS result is an initial mapping f: Q -> P plus a *physical* circuit:
+// gate operands are physical qubits and SWAP gates permute the residency
+// of program qubits (the C0·T0·C1·T1·...·Cn form of Sec. II). Every QLS
+// tool in this repository — the exact solver and all four heuristics —
+// returns this type, and everything downstream trusts results only after
+// validate_routed passes.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/mapping.hpp"
+#include "graph/graph.hpp"
+
+namespace qubikos {
+
+struct routed_circuit {
+    mapping initial;
+    circuit physical;
+
+    [[nodiscard]] std::size_t swap_count() const { return physical.num_swap_gates(); }
+};
+
+struct validation_report {
+    bool valid = false;
+    std::string error;
+    std::size_t swap_count = 0;
+
+    explicit operator bool() const { return valid; }
+};
+
+/// Checks that `routed` implements `logical` on `coupling`:
+///   1. the initial mapping is well-formed for (logical, coupling);
+///   2. every two-qubit physical gate (swaps included) acts on
+///      coupling-adjacent physical qubits;
+///   3. replaying the physical circuit while tracking residency yields,
+///      per program qubit, exactly the logical circuit's gate sequence
+///      (kind, partner and angle) — i.e. dependencies are preserved and no
+///      gate was dropped, duplicated or re-ordered across a shared qubit.
+[[nodiscard]] validation_report validate_routed(const circuit& logical,
+                                                const routed_circuit& routed,
+                                                const graph& coupling);
+
+}  // namespace qubikos

@@ -1,0 +1,271 @@
+#include "core/qubikos.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "util/rng.hpp"
+
+namespace qubikos::core {
+
+namespace {
+
+/// One forcing-swap choice: the coupling edge, the anchor endpoint p and
+/// the new-neighbor endpoint p'' (a neighbor of the other endpoint that is
+/// neither p nor adjacent to p).
+struct swap_choice {
+    edge coupling_edge;
+    int anchor;         // p
+    int new_neighbor;   // p''
+};
+
+/// Enumerates every (edge, anchor, new-neighbor) combination that forces a
+/// swap: swapping the edge must give the anchor's occupant a neighbor it
+/// could not reach before.
+std::vector<swap_choice> enumerate_swap_choices(const graph& coupling) {
+    std::vector<swap_choice> choices;
+    for (const auto& e : coupling.edges()) {
+        for (const auto& [p, other] : {std::pair{e.a, e.b}, std::pair{e.b, e.a}}) {
+            for (const int candidate : coupling.neighbors(other)) {
+                if (candidate == p) continue;
+                if (coupling.has_edge(candidate, p)) continue;
+                choices.push_back({e, p, candidate});
+            }
+        }
+    }
+    return choices;
+}
+
+/// Algorithm 1: physical edge set of one section body. The anchor's full
+/// star plus the full star of every physical qubit with strictly larger
+/// degree (deduplicated).
+std::vector<edge> section_body_physical(const graph& coupling, int anchor) {
+    std::set<edge> body;
+    for (const int pn : coupling.neighbors(anchor)) body.insert(edge(anchor, pn));
+    const int anchor_degree = coupling.degree(anchor);
+    for (int p = 0; p < coupling.num_vertices(); ++p) {
+        if (coupling.degree(p) <= anchor_degree) continue;
+        for (const int pn : coupling.neighbors(p)) body.insert(edge(p, pn));
+    }
+    return {body.begin(), body.end()};
+}
+
+/// Pulls a physical edge back through the mapping to program qubits.
+edge to_program(const mapping& f, const edge& physical) {
+    return edge(f.program_at(physical.a), f.program_at(physical.b));
+}
+
+/// The coupling graph expressed over program qubits under mapping f: the
+/// edges executable without any swap.
+graph pulled_back_coupling(const graph& coupling, const mapping& f) {
+    graph g(coupling.num_vertices());
+    for (const auto& e : coupling.edges()) {
+        const edge pe = to_program(f, e);
+        g.add_edge(pe.a, pe.b);
+    }
+    return g;
+}
+
+/// A logical gate tagged with the index of the mapping it executes under
+/// in the reference answer (body of section i -> i, special of section
+/// i -> i+1, tail padding -> n), plus provenance for the verifier.
+struct tagged_gate {
+    gate g;
+    int exec;
+    int section = -1;        // -1 for padding/decoration gates
+    bool is_special = false;
+};
+
+}  // namespace
+
+benchmark_instance generate(const arch::architecture& device, const generator_options& options) {
+    const graph& coupling = device.coupling;
+    const int num_qubits = coupling.num_vertices();
+    if (num_qubits < 3) throw generator_error("qubikos: device needs at least 3 qubits");
+    if (options.num_swaps < 0) throw generator_error("qubikos: negative swap count");
+    if (options.single_qubit_rate < 0.0) throw generator_error("qubikos: negative 1q rate");
+
+    rng random(options.seed);
+    const auto choices = enumerate_swap_choices(coupling);
+    if (options.num_swaps > 0 && choices.empty()) {
+        throw generator_error("qubikos: coupling graph admits no forcing swap (complete graph?)");
+    }
+
+    benchmark_instance out;
+    out.arch_name = device.name;
+    out.seed = options.seed;
+    out.optimal_swaps = options.num_swaps;
+
+    // Mapping after i swaps; mappings[0] is the initial mapping.
+    std::vector<mapping> mappings;
+    mappings.push_back(mapping::random(num_qubits, num_qubits, random));
+
+    std::vector<tagged_gate> tagged;
+    std::vector<edge> swap_edges;  // physical, one per section
+
+    edge previous_special;  // program-qubit pair of the last special gate
+    bool have_previous = false;
+
+    for (int i = 0; i < options.num_swaps; ++i) {
+        const mapping& f = mappings.back();
+        const swap_choice choice = choices[random.below(choices.size())];
+
+        section_info section;
+        section.swap_physical = choice.coupling_edge;
+
+        // Body (program-qubit pairs) executable under f.
+        std::vector<edge> body;
+        for (const auto& pe : section_body_physical(coupling, choice.anchor)) {
+            body.push_back(to_program(f, pe));
+        }
+        const int q_star = f.program_at(choice.anchor);
+        const int q_new = f.program_at(choice.new_neighbor);
+        section.special = edge(q_star, q_new);
+
+        // Connectivity patch: executable edges joining the body's
+        // components (and the previous special gate's endpoints) so the
+        // BFS orders below cover every gate.
+        const graph allowed = pulled_back_coupling(coupling, f);
+        std::vector<int> terminals;
+        for (const auto& e : body) {
+            terminals.push_back(e.a);
+            terminals.push_back(e.b);
+        }
+        if (have_previous) {
+            terminals.push_back(previous_special.a);
+            terminals.push_back(previous_special.b);
+        }
+        std::sort(terminals.begin(), terminals.end());
+        terminals.erase(std::unique(terminals.begin(), terminals.end()), terminals.end());
+        const auto patch = connect_components(allowed, body, terminals);
+        body.insert(body.end(), patch.begin(), patch.end());
+        section.body = body;
+
+        // Algorithm 2: gate order = BFS edge order from the previous
+        // special gate, then reversed BFS edge order toward this section's
+        // special gate, then the special gate itself.
+        graph body_graph(num_qubits);
+        for (const auto& e : body) body_graph.add_edge_if_absent(e.a, e.b);
+
+        std::vector<edge> ordered;
+        if (have_previous) {
+            const auto prefix =
+                bfs_edge_order(body_graph, {previous_special.a, previous_special.b});
+            if (prefix.size() != static_cast<std::size_t>(body_graph.num_edges())) {
+                throw generator_error("qubikos: internal error: prefix BFS missed edges");
+            }
+            ordered.insert(ordered.end(), prefix.begin(), prefix.end());
+        }
+        auto suffix = bfs_edge_order(body_graph, {q_star, q_new});
+        if (suffix.size() != static_cast<std::size_t>(body_graph.num_edges())) {
+            throw generator_error("qubikos: internal error: suffix BFS missed edges");
+        }
+        std::reverse(suffix.begin(), suffix.end());
+        ordered.insert(ordered.end(), suffix.begin(), suffix.end());
+
+        for (const auto& e : ordered) tagged.push_back({gate::cx(e.a, e.b), i, i, false});
+        tagged.push_back({gate::cx(q_star, q_new), i + 1, i, true});  // special gate
+
+        out.sections.push_back(std::move(section));
+
+        previous_special = edge(q_star, q_new);
+        have_previous = true;
+
+        mapping next = f;
+        next.swap_physical(choice.coupling_edge.a, choice.coupling_edge.b);
+        mappings.push_back(std::move(next));
+        swap_edges.push_back(choice.coupling_edge);
+    }
+
+    // Algorithm 3, padding phase: insert redundant gates executable under
+    // the mapping active at the insertion point. Execution tags stay
+    // monotone, so insertion positions for tag r span
+    // [lower_bound(r), upper_bound(r)].
+    const int num_regions = options.num_swaps + 1;
+    std::size_t two_qubit_count = tagged.size();
+    while (two_qubit_count < options.total_two_qubit_gates) {
+        const int region = random.range(0, num_regions - 1);
+        const mapping& f = mappings[static_cast<std::size_t>(region)];
+        const auto& ce = coupling.edges()[random.below(coupling.edges().size())];
+        const edge pe = to_program(f, ce);
+
+        const auto tag_less = [](const tagged_gate& tg, int r) { return tg.exec < r; };
+        const auto tag_greater = [](int r, const tagged_gate& tg) { return r < tg.exec; };
+        const auto lo = std::lower_bound(tagged.begin(), tagged.end(), region, tag_less);
+        const auto hi = std::upper_bound(tagged.begin(), tagged.end(), region, tag_greater);
+        const std::size_t lo_index = static_cast<std::size_t>(lo - tagged.begin());
+        const std::size_t hi_index = static_cast<std::size_t>(hi - tagged.begin());
+        const std::size_t position =
+            lo_index + random.below(hi_index - lo_index + 1);
+        tagged.insert(tagged.begin() + static_cast<std::ptrdiff_t>(position),
+                      {gate::cx(pe.a, pe.b), region, -1, false});
+        ++two_qubit_count;
+    }
+
+    // Optional single-qubit decoration (never constrains QLS).
+    if (options.single_qubit_rate > 0.0) {
+        const auto count = static_cast<std::size_t>(options.single_qubit_rate *
+                                                    static_cast<double>(two_qubit_count));
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t position = random.below(tagged.size() + 1);
+            const int exec = position < tagged.size()
+                                 ? tagged[position].exec
+                                 : num_regions - 1;
+            const int q = random.range(0, num_qubits - 1);
+            const gate g = random.chance(0.5)
+                               ? gate::h(q)
+                               : gate::rz(q, random.uniform() * 3.14159265358979323846);
+            tagged.insert(tagged.begin() + static_cast<std::ptrdiff_t>(position),
+                          {g, exec, -1, false});
+        }
+    }
+
+    // Materialize the logical circuit and the reference answer.
+    circuit logical(num_qubits);
+    circuit physical(num_qubits);
+    int current = 0;
+    for (const auto& tg : tagged) {
+        logical.append(tg.g);
+        while (current < tg.exec) {
+            physical.append(gate::swap_gate(swap_edges[static_cast<std::size_t>(current)].a,
+                                            swap_edges[static_cast<std::size_t>(current)].b));
+            ++current;
+        }
+        const mapping& f = mappings[static_cast<std::size_t>(tg.exec)];
+        if (tg.g.is_two_qubit()) {
+            physical.append(gate::two(tg.g.kind, f.physical(tg.g.q0), f.physical(tg.g.q1)));
+        } else {
+            physical.append(gate::single(tg.g.kind, f.physical(tg.g.q0), tg.g.angle));
+        }
+    }
+    // Trailing swaps (possible when the last section's special gate is the
+    // final gate and num_swaps regions were never entered — cannot happen
+    // for generated instances, but keep the walk total anyway).
+    while (current < options.num_swaps) {
+        physical.append(gate::swap_gate(swap_edges[static_cast<std::size_t>(current)].a,
+                                        swap_edges[static_cast<std::size_t>(current)].b));
+        ++current;
+    }
+
+    out.logical = std::move(logical);
+    out.answer.initial = mappings.front();
+    out.answer.physical = std::move(physical);
+
+    // Collect per-section gate indices from the provenance tags (padding
+    // gates interleave with the backbone, so ranges are not contiguous).
+    for (std::size_t i = 0; i < tagged.size(); ++i) {
+        const auto& tg = tagged[i];
+        if (tg.section < 0) continue;
+        auto& section = out.sections[static_cast<std::size_t>(tg.section)];
+        if (tg.is_special) {
+            section.special_gate_index = i;
+        } else {
+            section.body_gate_indices.push_back(i);
+        }
+    }
+
+    return out;
+}
+
+}  // namespace qubikos::core

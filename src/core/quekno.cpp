@@ -1,0 +1,70 @@
+#include "core/quekno.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qubikos::core {
+
+quekno_instance generate_quekno(const arch::architecture& device,
+                                const quekno_options& options) {
+    if (options.num_transitions < 0) throw std::invalid_argument("quekno: negative transitions");
+    if (options.gates_per_epoch < 1) throw std::invalid_argument("quekno: need gates per epoch");
+    const graph& coupling = device.coupling;
+    const int n = coupling.num_vertices();
+    if (coupling.num_edges() == 0) throw std::invalid_argument("quekno: no coupling edges");
+
+    rng random(options.seed);
+    const mapping initial = mapping::random(n, n, random);
+    mapping current = initial;
+
+    circuit logical(n);
+    circuit physical(n);
+
+    const auto emit_edge = [&](const edge& physical_edge) {
+        const int qa = current.program_at(physical_edge.a);
+        const int qb = current.program_at(physical_edge.b);
+        logical.append(gate::cx(qa, qb));
+        physical.append(gate::cx(physical_edge.a, physical_edge.b));
+    };
+
+    // A new interaction enabled by swapping (a,b): the qubit moved onto
+    // `a` can now reach a neighbor of `a` that was not reachable from
+    // `b`. Emitting that pair right after the transition makes the swap
+    // plausibly necessary (though, unlike QUBIKOS, nothing proves it).
+    const auto fresh_interaction = [&](const edge& swapped) -> edge {
+        for (const auto& [to, from] : {std::pair{swapped.a, swapped.b},
+                                       std::pair{swapped.b, swapped.a}}) {
+            for (const int pn : coupling.neighbors(to)) {
+                if (pn != from && !coupling.has_edge(pn, from)) return edge(to, pn);
+            }
+        }
+        return swapped;  // dense graphs: fall back to the swap edge itself
+    };
+
+    edge last_swap;
+    for (int epoch = 0; epoch <= options.num_transitions; ++epoch) {
+        for (int i = 0; i < options.gates_per_epoch; ++i) {
+            if (epoch > 0 && i == 0) {
+                emit_edge(fresh_interaction(last_swap));
+                continue;
+            }
+            emit_edge(coupling.edges()[random.below(coupling.edges().size())]);
+        }
+        if (epoch < options.num_transitions) {
+            last_swap = coupling.edges()[random.below(coupling.edges().size())];
+            physical.append(gate::swap_gate(last_swap.a, last_swap.b));
+            current.swap_physical(last_swap.a, last_swap.b);
+        }
+    }
+
+    quekno_instance out;
+    out.logical = std::move(logical);
+    out.construction.initial = initial;
+    out.construction.physical = std::move(physical);
+    out.construction_swaps = options.num_transitions;
+    return out;
+}
+
+}  // namespace qubikos::core

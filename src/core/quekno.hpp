@@ -1,0 +1,41 @@
+// QUEKNO-style benchmarks (Li, Zhou, Feng [29]): known *near-optimal*
+// transformation cost, no optimality proof.
+//
+// Construction: walk a sequence of mappings connected by random SWAPs;
+// between transitions, emit gates executable under the current mapping,
+// always including at least one gate that the *previous* mapping could
+// not execute (so the walk's swaps are plausibly needed). The swap count
+// of the walk is an upper bound on the optimum — the paper's point is
+// that, unlike QUBIKOS, nothing certifies it as a lower bound, so
+// optimality gaps measured against it are only approximate. Including
+// this generator lets the benches contrast the two benchmark families.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/architectures.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/routed.hpp"
+
+namespace qubikos::core {
+
+struct quekno_options {
+    /// Number of SWAP transitions in the construction walk.
+    int num_transitions = 5;
+    /// Two-qubit gates emitted per mapping epoch.
+    int gates_per_epoch = 20;
+    std::uint64_t seed = 1;
+};
+
+struct quekno_instance {
+    circuit logical;
+    /// The construction's transpilation (num_transitions swaps) — an
+    /// upper bound on the optimum, NOT a certified optimum.
+    routed_circuit construction;
+    int construction_swaps = 0;
+};
+
+[[nodiscard]] quekno_instance generate_quekno(const arch::architecture& device,
+                                              const quekno_options& options);
+
+}  // namespace qubikos::core

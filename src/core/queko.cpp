@@ -1,0 +1,103 @@
+#include "core/queko.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace qubikos::core {
+
+queko_instance generate_queko(const arch::architecture& device, const queko_options& options) {
+    if (options.depth < 1) throw std::invalid_argument("queko: depth must be >= 1");
+    if (options.density <= 0.0 || options.density > 1.0) {
+        throw std::invalid_argument("queko: density must be in (0, 1]");
+    }
+    const graph& coupling = device.coupling;
+    const int n = coupling.num_vertices();
+    if (coupling.num_edges() == 0) throw std::invalid_argument("queko: no coupling edges");
+
+    rng random(options.seed);
+    queko_instance out;
+    out.hidden_mapping = mapping::random(n, n, random);
+    out.optimal_depth = options.depth;
+    circuit c(n);
+
+    // Physical qubits used by the previous layer (for depth chaining).
+    std::vector<char> previous_layer(static_cast<std::size_t>(n), 0);
+
+    for (int layer = 0; layer < options.depth; ++layer) {
+        std::vector<char> used(static_cast<std::size_t>(n), 0);
+        std::vector<edge> chosen;
+
+        // Greedy random matching thinned by density.
+        std::vector<edge> edges = coupling.edges();
+        random.shuffle(edges);
+        for (const auto& e : edges) {
+            if (used[static_cast<std::size_t>(e.a)] || used[static_cast<std::size_t>(e.b)]) {
+                continue;
+            }
+            if (!chosen.empty() && !random.chance(options.density)) continue;
+            used[static_cast<std::size_t>(e.a)] = 1;
+            used[static_cast<std::size_t>(e.b)] = 1;
+            chosen.push_back(e);
+        }
+
+        // Chain to the previous layer so depth cannot compress: at least
+        // one chosen edge must touch a qubit active in the previous layer.
+        if (layer > 0) {
+            bool chained = false;
+            for (const auto& e : chosen) {
+                if (previous_layer[static_cast<std::size_t>(e.a)] ||
+                    previous_layer[static_cast<std::size_t>(e.b)]) {
+                    chained = true;
+                    break;
+                }
+            }
+            if (!chained) {
+                for (const auto& e : coupling.edges()) {
+                    const bool touches_previous =
+                        previous_layer[static_cast<std::size_t>(e.a)] ||
+                        previous_layer[static_cast<std::size_t>(e.b)];
+                    if (!touches_previous) continue;
+                    if (used[static_cast<std::size_t>(e.a)] ||
+                        used[static_cast<std::size_t>(e.b)]) {
+                        continue;
+                    }
+                    used[static_cast<std::size_t>(e.a)] = 1;
+                    used[static_cast<std::size_t>(e.b)] = 1;
+                    chosen.push_back(e);
+                    chained = true;
+                    break;
+                }
+            }
+            if (!chained) {
+                // Fall back to a single-qubit gate on a previous-layer
+                // qubit; it still blocks depth compression.
+                for (int p = 0; p < n; ++p) {
+                    if (previous_layer[static_cast<std::size_t>(p)]) {
+                        c.append(gate::h(out.hidden_mapping.program_at(p)));
+                        used[static_cast<std::size_t>(p)] = 1;
+                        break;
+                    }
+                }
+            }
+        }
+
+        std::fill(previous_layer.begin(), previous_layer.end(), 0);
+        for (const auto& e : chosen) {
+            c.append(gate::cx(out.hidden_mapping.program_at(e.a),
+                              out.hidden_mapping.program_at(e.b)));
+            previous_layer[static_cast<std::size_t>(e.a)] = 1;
+            previous_layer[static_cast<std::size_t>(e.b)] = 1;
+        }
+        // Account for the fallback single-qubit chain gate.
+        for (int p = 0; p < n; ++p) {
+            if (used[static_cast<std::size_t>(p)]) previous_layer[static_cast<std::size_t>(p)] = 1;
+        }
+    }
+
+    out.logical = std::move(c);
+    return out;
+}
+
+}  // namespace qubikos::core

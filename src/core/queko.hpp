@@ -1,0 +1,39 @@
+// QUEKO-style benchmarks (Tan & Cong [28]): known-optimal depth, zero
+// SWAPs.
+//
+// A hidden mapping is drawn, then gates are emitted layer by layer using
+// only coupling-adjacent pairs under that mapping, with each layer chained
+// to the previous one so the depth cannot compress. The paper uses QUEKO
+// as the contrast case: these circuits are solvable by subgraph
+// isomorphism (VF2) alone, which is exactly what QUBIKOS circuits defeat.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/architectures.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/mapping.hpp"
+
+namespace qubikos::core {
+
+struct queko_options {
+    /// Known-optimal circuit depth (>= 1).
+    int depth = 10;
+    /// Expected fraction of a random matching to fill per layer, in (0,1].
+    double density = 0.5;
+    std::uint64_t seed = 1;
+};
+
+struct queko_instance {
+    circuit logical;
+    /// A mapping under which every gate is executable in place (witness
+    /// for the 0-SWAP optimum).
+    mapping hidden_mapping;
+    int optimal_depth = 0;
+    static constexpr int optimal_swaps = 0;
+};
+
+[[nodiscard]] queko_instance generate_queko(const arch::architecture& device,
+                                            const queko_options& options);
+
+}  // namespace qubikos::core

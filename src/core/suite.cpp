@@ -1,0 +1,178 @@
+#include "core/suite.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/qasm.hpp"
+#include "util/json.hpp"
+
+namespace qubikos::core {
+
+namespace {
+
+std::string instance_name(int swap_count, int index) {
+    return "qubikos_s" + std::to_string(swap_count) + "_i" + std::to_string(index);
+}
+
+json::value edge_to_json(const edge& e) { return json::array{e.a, e.b}; }
+
+edge edge_from_json(const json::value& v) {
+    const auto& arr = v.as_array();
+    if (arr.size() != 2) throw std::runtime_error("suite: malformed edge");
+    return edge(arr[0].as_int(), arr[1].as_int());
+}
+
+json::value instance_metadata(const benchmark_instance& instance) {
+    json::object meta;
+    meta["arch"] = instance.arch_name;
+    meta["seed"] = static_cast<std::int64_t>(instance.seed);
+    meta["optimal_swaps"] = instance.optimal_swaps;
+
+    json::array q2p;
+    for (const int p : instance.answer.initial.program_to_physical()) q2p.push_back(p);
+    meta["initial_mapping"] = std::move(q2p);
+
+    json::array sections;
+    for (const auto& section : instance.sections) {
+        json::object s;
+        json::array body;
+        for (const auto& e : section.body) body.push_back(edge_to_json(e));
+        s["body"] = std::move(body);
+        s["special"] = edge_to_json(section.special);
+        s["swap_physical"] = edge_to_json(section.swap_physical);
+        json::array indices;
+        for (const std::size_t i : section.body_gate_indices) indices.push_back(i);
+        s["body_gate_indices"] = std::move(indices);
+        s["special_gate_index"] = instance.sections.empty()
+                                      ? json::value(0)
+                                      : json::value(section.special_gate_index);
+        sections.push_back(json::object(std::move(s)));
+    }
+    meta["sections"] = std::move(sections);
+    return json::value(std::move(meta));
+}
+
+benchmark_instance instance_from_disk(const std::filesystem::path& dir, const std::string& name,
+                                      int num_physical) {
+    benchmark_instance instance;
+    instance.logical = qasm::load((dir / (name + ".qasm")).string());
+
+    std::ifstream meta_file(dir / (name + ".json"));
+    if (!meta_file) throw std::runtime_error("suite: missing metadata for " + name);
+    std::ostringstream buffer;
+    buffer << meta_file.rdbuf();
+    const json::value meta = json::parse(buffer.str());
+
+    instance.arch_name = meta.at("arch").as_string();
+    instance.seed = static_cast<std::uint64_t>(meta.at("seed").as_number());
+    instance.optimal_swaps = meta.at("optimal_swaps").as_int();
+
+    std::vector<int> q2p;
+    for (const auto& v : meta.at("initial_mapping").as_array()) q2p.push_back(v.as_int());
+    instance.answer.initial = mapping::from_program_to_physical(q2p, num_physical);
+    instance.answer.physical = qasm::load((dir / (name + ".answer.qasm")).string());
+
+    for (const auto& sv : meta.at("sections").as_array()) {
+        section_info section;
+        for (const auto& ev : sv.at("body").as_array()) {
+            section.body.push_back(edge_from_json(ev));
+        }
+        section.special = edge_from_json(sv.at("special"));
+        section.swap_physical = edge_from_json(sv.at("swap_physical"));
+        for (const auto& iv : sv.at("body_gate_indices").as_array()) {
+            section.body_gate_indices.push_back(static_cast<std::size_t>(iv.as_number()));
+        }
+        section.special_gate_index =
+            static_cast<std::size_t>(sv.at("special_gate_index").as_number());
+        instance.sections.push_back(std::move(section));
+    }
+    return instance;
+}
+
+}  // namespace
+
+suite generate_suite(const arch::architecture& device, const suite_spec& spec) {
+    suite out;
+    out.spec = spec;
+    std::uint64_t seed = spec.base_seed;
+    for (const int swaps : spec.swap_counts) {
+        for (int i = 0; i < spec.circuits_per_count; ++i) {
+            generator_options options;
+            options.num_swaps = swaps;
+            options.total_two_qubit_gates = spec.total_two_qubit_gates;
+            options.single_qubit_rate = spec.single_qubit_rate;
+            options.seed = seed++;
+            out.instances.push_back(generate(device, options));
+        }
+    }
+    return out;
+}
+
+void save_suite(const suite& s, const std::string& directory) {
+    const std::filesystem::path dir(directory);
+    std::filesystem::create_directories(dir);
+
+    json::object manifest;
+    manifest["arch"] = s.spec.arch_name;
+    manifest["circuits_per_count"] = s.spec.circuits_per_count;
+    manifest["total_two_qubit_gates"] = s.spec.total_two_qubit_gates;
+    manifest["single_qubit_rate"] = s.spec.single_qubit_rate;
+    manifest["base_seed"] = static_cast<std::int64_t>(s.spec.base_seed);
+    json::array counts;
+    for (const int c : s.spec.swap_counts) counts.push_back(c);
+    manifest["swap_counts"] = std::move(counts);
+
+    json::array names;
+    std::size_t index = 0;
+    for (const auto& instance : s.instances) {
+        // Reconstruct the (swap_count, i) pair from generation order.
+        const std::size_t batch = index / static_cast<std::size_t>(s.spec.circuits_per_count);
+        const int within = static_cast<int>(index % static_cast<std::size_t>(s.spec.circuits_per_count));
+        const std::string name =
+            instance_name(s.spec.swap_counts[batch], within);
+        names.push_back(name);
+
+        qasm::save(instance.logical, (dir / (name + ".qasm")).string());
+        qasm::save(instance.answer.physical, (dir / (name + ".answer.qasm")).string());
+        std::ofstream meta(dir / (name + ".json"));
+        if (!meta) throw std::runtime_error("suite: cannot write metadata for " + name);
+        meta << instance_metadata(instance).dump(2) << "\n";
+        ++index;
+    }
+    manifest["instances"] = std::move(names);
+
+    std::ofstream mf(dir / "manifest.json");
+    if (!mf) throw std::runtime_error("suite: cannot write manifest");
+    mf << json::value(std::move(manifest)).dump(2) << "\n";
+}
+
+suite load_suite(const std::string& directory) {
+    const std::filesystem::path dir(directory);
+    std::ifstream mf(dir / "manifest.json");
+    if (!mf) throw std::runtime_error("suite: missing manifest in " + directory);
+    std::ostringstream buffer;
+    buffer << mf.rdbuf();
+    const json::value manifest = json::parse(buffer.str());
+
+    suite out;
+    out.spec.arch_name = manifest.at("arch").as_string();
+    out.spec.circuits_per_count = manifest.at("circuits_per_count").as_int();
+    out.spec.total_two_qubit_gates =
+        static_cast<std::size_t>(manifest.at("total_two_qubit_gates").as_number());
+    out.spec.single_qubit_rate = manifest.at("single_qubit_rate").as_number();
+    out.spec.base_seed = static_cast<std::uint64_t>(manifest.at("base_seed").as_number());
+    for (const auto& v : manifest.at("swap_counts").as_array()) {
+        out.spec.swap_counts.push_back(v.as_int());
+    }
+
+    const auto device = arch::by_name(out.spec.arch_name);
+    for (const auto& nv : manifest.at("instances").as_array()) {
+        out.instances.push_back(
+            instance_from_disk(dir, nv.as_string(), device.coupling.num_vertices()));
+    }
+    return out;
+}
+
+}  // namespace qubikos::core

@@ -1,0 +1,49 @@
+// Benchmark suite generation and on-disk format.
+//
+// A suite is the unit the paper's experiments run on: a batch of QUBIKOS
+// instances for one architecture across several designed SWAP counts
+// (Sec. IV generates 100 circuits per count for the optimality study and
+// 10 per count for the tool evaluation). On disk a suite is a directory:
+//   manifest.json               - spec + per-instance index
+//   <name>.qasm                 - the logical benchmark circuit
+//   <name>.answer.qasm          - the reference optimal transpilation
+//   <name>.json                 - metadata (mapping, sections, seed)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "core/qubikos.hpp"
+
+namespace qubikos::core {
+
+struct suite_spec {
+    std::string arch_name;
+    /// Designed optimal swap counts, one sub-batch per entry.
+    std::vector<int> swap_counts;
+    int circuits_per_count = 10;
+    /// Two-qubit gate padding target per circuit (0 = backbone only).
+    std::size_t total_two_qubit_gates = 0;
+    double single_qubit_rate = 0.0;
+    std::uint64_t base_seed = 1;
+};
+
+struct suite {
+    suite_spec spec;
+    std::vector<benchmark_instance> instances;
+};
+
+/// Generates spec.swap_counts.size() * spec.circuits_per_count instances
+/// with deterministic per-instance seeds derived from base_seed.
+[[nodiscard]] suite generate_suite(const arch::architecture& device, const suite_spec& spec);
+
+/// Serializes a suite into `directory` (created if absent).
+void save_suite(const suite& s, const std::string& directory);
+
+/// Loads a previously saved suite; the architecture is reconstructed by
+/// name via arch::by_name.
+[[nodiscard]] suite load_suite(const std::string& directory);
+
+}  // namespace qubikos::core

@@ -1,0 +1,171 @@
+#include "core/verifier.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "circuit/dag.hpp"
+#include "circuit/interaction.hpp"
+#include "graph/vf2.hpp"
+
+namespace qubikos::core {
+
+namespace {
+
+verification_report fail(std::string why) {
+    verification_report r;
+    r.valid = false;
+    r.error = std::move(why);
+    return r;
+}
+
+/// Descendant bitmap of a DAG node (everything that depends on it).
+std::vector<char> descendants(const gate_dag& dag, int node) {
+    std::vector<char> seen(static_cast<std::size_t>(dag.num_nodes()), 0);
+    std::deque<int> queue{node};
+    while (!queue.empty()) {
+        const int cur = queue.front();
+        queue.pop_front();
+        for (const int s : dag.succs(cur)) {
+            if (!seen[static_cast<std::size_t>(s)]) {
+                seen[static_cast<std::size_t>(s)] = 1;
+                queue.push_back(s);
+            }
+        }
+    }
+    return seen;
+}
+
+}  // namespace
+
+namespace {
+verification_report verify_structure_impl(const benchmark_instance& instance,
+                                          const arch::architecture& device,
+                                          const verification_options& options);
+}  // namespace
+
+verification_report verify_structure(const benchmark_instance& instance,
+                                     const arch::architecture& device,
+                                     const verification_options& options) {
+    // A corrupted instance may hold out-of-range indices; the verifier's
+    // contract is to report, never to throw.
+    try {
+        return verify_structure_impl(instance, device, options);
+    } catch (const std::exception& e) {
+        return fail(std::string("verification raised: ") + e.what());
+    }
+}
+
+namespace {
+verification_report verify_structure_impl(const benchmark_instance& instance,
+                                          const arch::architecture& device,
+                                          const verification_options& options) {
+    const graph& coupling = device.coupling;
+
+    // (V1) Reference answer validity and swap count.
+    const auto routed = validate_routed(instance.logical, instance.answer, coupling);
+    if (!routed) return fail("answer invalid: " + routed.error);
+    if (routed.swap_count != static_cast<std::size_t>(instance.optimal_swaps)) {
+        return fail("answer uses " + std::to_string(routed.swap_count) + " swaps, declared " +
+                    std::to_string(instance.optimal_swaps));
+    }
+    if (static_cast<int>(instance.sections.size()) != instance.optimal_swaps) {
+        return fail("section count != optimal swap count");
+    }
+
+    const gate_dag dag(instance.logical);
+    // Map circuit gate index -> DAG node.
+    std::vector<int> node_of(instance.logical.size(), -1);
+    for (int node = 0; node < dag.num_nodes(); ++node) {
+        node_of[dag.circuit_index(node)] = node;
+    }
+
+    // Replay mappings f_0 .. f_n.
+    std::vector<mapping> mappings{instance.answer.initial};
+    for (const auto& section : instance.sections) {
+        mapping next = mappings.back();
+        next.swap_physical(section.swap_physical.a, section.swap_physical.b);
+        mappings.push_back(std::move(next));
+    }
+
+    for (std::size_t i = 0; i < instance.sections.size(); ++i) {
+        const auto& section = instance.sections[i];
+        const mapping& f = mappings[i];
+        const mapping& f_next = mappings[i + 1];
+
+        // (V5) Body executable in place; special only after the swap.
+        for (const auto& e : section.body) {
+            if (!coupling.has_edge(f.physical(e.a), f.physical(e.b))) {
+                return fail("section " + std::to_string(i) + ": body edge (" +
+                            std::to_string(e.a) + "," + std::to_string(e.b) +
+                            ") not executable under its mapping");
+            }
+        }
+        if (coupling.has_edge(f.physical(section.special.a), f.physical(section.special.b))) {
+            return fail("section " + std::to_string(i) +
+                        ": special gate already executable before the swap");
+        }
+        if (!coupling.has_edge(f_next.physical(section.special.a),
+                               f_next.physical(section.special.b))) {
+            return fail("section " + std::to_string(i) +
+                        ": special gate not executable after the swap");
+        }
+
+        // (V2) Non-isomorphism of body + special.
+        std::vector<edge> all_edges = section.body;
+        all_edges.push_back(section.special);
+        const graph gi =
+            interaction_graph_of_edges(instance.logical.num_qubits(), all_edges);
+        const auto vf2 =
+            find_subgraph_monomorphism(gi, coupling, {options.vf2_node_limit});
+        if (vf2.limit_hit) {
+            return fail("section " + std::to_string(i) + ": VF2 node limit hit (inconclusive)");
+        }
+        if (vf2.found) {
+            return fail("section " + std::to_string(i) +
+                        ": interaction graph embeds into the coupling graph "
+                        "(would not force a swap)");
+        }
+
+        // (V3) Every body gate precedes the special gate.
+        const int special_node = node_of[section.special_gate_index];
+        if (special_node < 0) return fail("section " + std::to_string(i) + ": bad special index");
+        const auto special_ancestors = dag.ancestors(special_node);
+        for (const std::size_t gi_index : section.body_gate_indices) {
+            const int body_node = node_of[gi_index];
+            if (body_node < 0) return fail("section " + std::to_string(i) + ": bad body index");
+            if (!special_ancestors[static_cast<std::size_t>(body_node)]) {
+                return fail("section " + std::to_string(i) + ": body gate #" +
+                            std::to_string(gi_index) + " does not precede the special gate");
+            }
+        }
+
+        // (V4) Serialization across sections.
+        if (i > 0) {
+            const int prev_special =
+                node_of[instance.sections[i - 1].special_gate_index];
+            const auto reachable = descendants(dag, prev_special);
+            const auto requires_dependency = [&](std::size_t gate_index) {
+                const int node = node_of[gate_index];
+                return node >= 0 && reachable[static_cast<std::size_t>(node)] != 0;
+            };
+            for (const std::size_t gi_index : section.body_gate_indices) {
+                if (!requires_dependency(gi_index)) {
+                    return fail("section " + std::to_string(i) + ": body gate #" +
+                                std::to_string(gi_index) +
+                                " does not depend on the previous special gate");
+                }
+            }
+            if (!requires_dependency(section.special_gate_index)) {
+                return fail("section " + std::to_string(i) +
+                            ": special gate does not depend on the previous special gate");
+            }
+        }
+    }
+
+    verification_report r;
+    r.valid = true;
+    return r;
+}
+}  // namespace
+
+}  // namespace qubikos::core

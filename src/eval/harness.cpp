@@ -1,0 +1,63 @@
+#include "eval/harness.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace qubikos::eval {
+
+std::vector<tool> paper_toolbox(const toolbox_options& options) {
+    std::vector<tool> tools;
+
+    router::sabre_options sabre = options.sabre;
+    sabre.trials = options.sabre_trials;
+    sabre.seed = options.seed;
+    tools.push_back({"lightsabre", [sabre](const circuit& c, const graph& g) {
+                         return router::route_sabre(c, g, sabre);
+                     }});
+
+    router::mlqls_options mlqls = options.mlqls;
+    mlqls.seed = options.seed;
+    tools.push_back({"mlqls", [mlqls](const circuit& c, const graph& g) {
+                         return router::route_mlqls(c, g, mlqls);
+                     }});
+
+    const router::qmap_options qmap = options.qmap;
+    tools.push_back({"qmap", [qmap](const circuit& c, const graph& g) {
+                         return router::route_qmap(c, g, qmap);
+                     }});
+
+    const router::tket_options tket = options.tket;
+    tools.push_back({"tket", [tket](const circuit& c, const graph& g) {
+                         return router::route_tket(c, g, tket);
+                     }});
+
+    return tools;
+}
+
+evaluation_result evaluate_suite(const core::suite& s, const arch::architecture& device,
+                                 const std::vector<tool>& tools) {
+    evaluation_result result;
+    for (const auto& instance : s.instances) {
+        for (const auto& t : tools) {
+            stopwatch timer;
+            const routed_circuit routed = t.run(instance.logical, device.coupling);
+            run_record record;
+            record.tool = t.name;
+            record.designed_swaps = instance.optimal_swaps;
+            record.seconds = timer.seconds();
+            const auto report = validate_routed(instance.logical, routed, device.coupling);
+            record.valid = report.valid;
+            record.measured_swaps = report.swap_count;
+            const int logical_depth = instance.logical.depth();
+            if (logical_depth > 0) {
+                record.depth_ratio = static_cast<double>(routed.physical.depth()) /
+                                     static_cast<double>(logical_depth);
+            }
+            if (!record.valid) ++result.invalid_runs;
+            result.records.push_back(std::move(record));
+        }
+    }
+    result.cells = aggregate(result.records);
+    return result;
+}
+
+}  // namespace qubikos::eval

@@ -1,0 +1,55 @@
+// Tool-evaluation harness: runs QLS tools over a QUBIKOS suite and
+// aggregates swap ratios (the Sec. IV-B experiment).
+//
+// Every routed result is validated before being counted; an invalid
+// result is recorded but excluded from the aggregates (and loudly
+// reported by the benches — none of the shipped tools produce one).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "circuit/routed.hpp"
+#include "core/suite.hpp"
+#include "eval/metrics.hpp"
+#include "router/mlqls.hpp"
+#include "router/qmap.hpp"
+#include "router/sabre.hpp"
+#include "router/tket.hpp"
+
+namespace qubikos::eval {
+
+/// A named QLS tool: circuit + coupling graph -> routed circuit.
+struct tool {
+    std::string name;
+    std::function<routed_circuit(const circuit&, const graph&)> run;
+};
+
+/// The paper's four tools with knobs. `sabre_trials` is the LightSABRE
+/// trial count (1000 in the paper; benches scale it down and say so).
+struct toolbox_options {
+    int sabre_trials = 32;
+    std::uint64_t seed = 1;
+    router::sabre_options sabre;
+    router::tket_options tket;
+    router::qmap_options qmap;
+    router::mlqls_options mlqls;
+};
+
+/// Builds the standard four-tool lineup (lightsabre, mlqls, qmap, tket).
+[[nodiscard]] std::vector<tool> paper_toolbox(const toolbox_options& options = {});
+
+struct evaluation_result {
+    std::vector<run_record> records;
+    std::vector<ratio_cell> cells;
+    int invalid_runs = 0;
+};
+
+/// Runs every tool on every instance of the suite.
+[[nodiscard]] evaluation_result evaluate_suite(const core::suite& s,
+                                               const arch::architecture& device,
+                                               const std::vector<tool>& tools);
+
+}  // namespace qubikos::eval

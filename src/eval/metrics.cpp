@@ -1,0 +1,61 @@
+#include "eval/metrics.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace qubikos::eval {
+
+std::vector<ratio_cell> aggregate(const std::vector<run_record>& records) {
+    std::map<std::pair<std::string, int>, ratio_cell> cells;
+    for (const auto& record : records) {
+        if (!record.valid) continue;
+        auto& cell = cells[{record.tool, record.designed_swaps}];
+        cell.tool = record.tool;
+        cell.designed_swaps = record.designed_swaps;
+        ++cell.runs;
+        cell.average_swaps += static_cast<double>(record.measured_swaps);
+        cell.average_seconds += record.seconds;
+        cell.average_depth_ratio += record.depth_ratio;
+    }
+    std::vector<ratio_cell> out;
+    out.reserve(cells.size());
+    for (auto& [key, cell] : cells) {
+        (void)key;
+        cell.average_swaps /= cell.runs;
+        cell.average_seconds /= cell.runs;
+        cell.average_depth_ratio /= cell.runs;
+        if (cell.designed_swaps <= 0) {
+            throw std::invalid_argument("aggregate: non-positive designed swap count");
+        }
+        cell.swap_ratio = cell.average_swaps / cell.designed_swaps;
+        out.push_back(cell);
+    }
+    return out;
+}
+
+double mean_ratio(const std::vector<ratio_cell>& cells, const std::string& tool) {
+    double total = 0.0;
+    int count = 0;
+    for (const auto& cell : cells) {
+        if (cell.tool != tool) continue;
+        total += cell.swap_ratio;
+        ++count;
+    }
+    if (count == 0) throw std::invalid_argument("mean_ratio: no cells for tool " + tool);
+    return total / count;
+}
+
+double geomean_ratio(const std::vector<ratio_cell>& cells, const std::string& tool) {
+    double log_total = 0.0;
+    int count = 0;
+    for (const auto& cell : cells) {
+        if (cell.tool != tool) continue;
+        log_total += std::log(cell.swap_ratio);
+        ++count;
+    }
+    if (count == 0) throw std::invalid_argument("geomean_ratio: no cells for tool " + tool);
+    return std::exp(log_total / count);
+}
+
+}  // namespace qubikos::eval

@@ -1,0 +1,51 @@
+// Optimality-gap metrics (Sec. IV-B of the paper).
+//
+// The paper's headline metric is the SWAP ratio:
+//     ratio = (average SWAP count over a batch) / (optimal SWAP count),
+// always >= 1, with 1 meaning the tool found the optimum. Per-architecture
+// "optimality gap" figures aggregate the ratios across the swap-count
+// sweep; the abstract's per-tool gaps aggregate across architectures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qubikos::eval {
+
+/// One tool run on one benchmark instance.
+struct run_record {
+    std::string tool;
+    int designed_swaps = 0;
+    std::size_t measured_swaps = 0;
+    double seconds = 0.0;
+    bool valid = false;
+    /// Depth overhead: routed circuit depth / logical circuit depth
+    /// (>= 1 in practice; swaps only add depth). 0 when not recorded.
+    double depth_ratio = 0.0;
+};
+
+/// Aggregate for one (tool, designed swap count) cell of Fig. 4.
+struct ratio_cell {
+    std::string tool;
+    int designed_swaps = 0;
+    int runs = 0;
+    double average_swaps = 0.0;
+    /// average_swaps / designed_swaps.
+    double swap_ratio = 0.0;
+    double average_seconds = 0.0;
+    double average_depth_ratio = 0.0;
+};
+
+/// Groups records by (tool, designed count) and computes swap ratios.
+/// Invalid runs are excluded (and counted separately by callers if
+/// needed); throws if a cell would divide by zero.
+[[nodiscard]] std::vector<ratio_cell> aggregate(const std::vector<run_record>& records);
+
+/// Mean of the swap ratios of one tool across cells (the per-architecture
+/// "optimality gap" number quoted in the paper).
+[[nodiscard]] double mean_ratio(const std::vector<ratio_cell>& cells, const std::string& tool);
+
+/// Geometric mean variant (more robust; reported alongside).
+[[nodiscard]] double geomean_ratio(const std::vector<ratio_cell>& cells, const std::string& tool);
+
+}  // namespace qubikos::eval

@@ -1,0 +1,45 @@
+#include "eval/placement.hpp"
+
+#include <stdexcept>
+
+#include "circuit/interaction.hpp"
+#include "graph/token_swapping.hpp"
+
+namespace qubikos::eval {
+
+placement_quality compare_placements(const circuit& logical, const graph& coupling,
+                                     const mapping& candidate, const mapping& reference) {
+    if (candidate.num_program() != reference.num_program() ||
+        candidate.num_physical() != reference.num_physical()) {
+        throw std::invalid_argument("compare_placements: mapping shape mismatch");
+    }
+    const int num_program = candidate.num_program();
+
+    placement_quality out;
+    int matches = 0;
+    for (int q = 0; q < num_program; ++q) {
+        if (candidate.physical(q) == reference.physical(q)) ++matches;
+    }
+    out.exact_match = num_program == 0 ? 1.0 : static_cast<double>(matches) / num_program;
+
+    out.token_swap_distance = token_swap_distance(
+        coupling, candidate.program_to_physical(), reference.program_to_physical());
+
+    const graph interactions = interaction_graph(logical);
+    int realized_by_reference = 0;
+    int also_by_candidate = 0;
+    for (const auto& e : interactions.edges()) {
+        if (!coupling.has_edge(reference.physical(e.a), reference.physical(e.b))) continue;
+        ++realized_by_reference;
+        if (coupling.has_edge(candidate.physical(e.a), candidate.physical(e.b))) {
+            ++also_by_candidate;
+        }
+    }
+    out.adjacency_preserved =
+        realized_by_reference == 0
+            ? 1.0
+            : static_cast<double>(also_by_candidate) / realized_by_reference;
+    return out;
+}
+
+}  // namespace qubikos::eval

@@ -1,0 +1,38 @@
+// Placement-quality analysis.
+//
+// The standalone-routing experiments show that on QUBIKOS the tools'
+// optimality gap is dominated by *initial-mapping* quality, not routing
+// (routing from the planted mapping is near-perfect). These metrics
+// quantify how far a tool's chosen initial mapping is from the planted
+// optimal one:
+//   - exact-match fraction of program qubits;
+//   - token-swap distance (swaps needed to morph one mapping into the
+//     other on the coupling graph) — the operational cost of the
+//     placement error;
+//   - adjacency preservation: fraction of the planted mapping's realized
+//     interaction edges that the tool's mapping also realizes.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/mapping.hpp"
+#include "graph/graph.hpp"
+
+namespace qubikos::eval {
+
+struct placement_quality {
+    /// Fraction of program qubits placed exactly as in the reference.
+    double exact_match = 0.0;
+    /// Swaps required to transform `candidate` into `reference` on the
+    /// coupling graph (approximate token swapping).
+    std::size_t token_swap_distance = 0;
+    /// Of the interaction edges executable in place under `reference`,
+    /// the fraction also executable in place under `candidate`.
+    double adjacency_preserved = 0.0;
+};
+
+[[nodiscard]] placement_quality compare_placements(const circuit& logical,
+                                                   const graph& coupling,
+                                                   const mapping& candidate,
+                                                   const mapping& reference);
+
+}  // namespace qubikos::eval

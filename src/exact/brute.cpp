@@ -1,0 +1,168 @@
+#include "exact/brute.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "circuit/dag.hpp"
+
+namespace qubikos::exact {
+
+namespace {
+
+struct state {
+    std::uint64_t placement;  // q2p packed 4 bits per program qubit
+    std::uint64_t executed;   // bitmask over DAG nodes
+
+    friend bool operator==(const state&, const state&) = default;
+};
+
+struct state_hash {
+    std::size_t operator()(const state& s) const {
+        std::uint64_t h = s.placement * 0x9e3779b97f4a7c15ULL;
+        h ^= s.executed + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+std::uint64_t pack(const std::vector<int>& q2p) {
+    std::uint64_t out = 0;
+    for (std::size_t q = 0; q < q2p.size(); ++q) {
+        out |= static_cast<std::uint64_t>(q2p[q]) << (4 * q);
+    }
+    return out;
+}
+
+void unpack(std::uint64_t placement, std::vector<int>& q2p) {
+    for (std::size_t q = 0; q < q2p.size(); ++q) {
+        q2p[q] = static_cast<int>((placement >> (4 * q)) & 0xf);
+    }
+}
+
+/// Executes every DAG-ready, coupling-adjacent gate until fixpoint.
+std::uint64_t closure(const gate_dag& dag, const graph& coupling, const std::vector<int>& q2p,
+                      std::uint64_t executed) {
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (int g = 0; g < dag.num_nodes(); ++g) {
+            if ((executed >> g) & 1) continue;
+            bool ready = true;
+            for (const int p : dag.preds(g)) {
+                if (((executed >> p) & 1) == 0) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (!ready) continue;
+            const gate& gt = dag.node_gate(g);
+            if (coupling.has_edge(q2p[static_cast<std::size_t>(gt.q0)],
+                                  q2p[static_cast<std::size_t>(gt.q1)])) {
+                executed |= std::uint64_t{1} << g;
+                progress = true;
+            }
+        }
+    }
+    return executed;
+}
+
+}  // namespace
+
+brute_result brute_force_optimal_swaps(const circuit& c, const graph& coupling,
+                                       const brute_options& options) {
+    const int num_program = c.num_qubits();
+    const int num_physical = coupling.num_vertices();
+    if (num_physical > 16) {
+        throw std::invalid_argument("brute_force_optimal_swaps: > 16 physical qubits");
+    }
+    if (num_program > num_physical) {
+        throw std::invalid_argument("brute_force_optimal_swaps: more program than physical");
+    }
+    const gate_dag dag(c);
+    if (dag.num_nodes() > 64) {
+        throw std::invalid_argument("brute_force_optimal_swaps: > 64 two-qubit gates");
+    }
+    const std::uint64_t all_executed =
+        dag.num_nodes() == 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << dag.num_nodes()) - 1;
+
+    brute_result result;
+    std::unordered_set<state, state_hash> seen;
+    std::deque<state> frontier;
+
+    // Seed with every injective placement (free choice of initial mapping).
+    std::vector<int> q2p(static_cast<std::size_t>(num_program), -1);
+    std::vector<char> used(static_cast<std::size_t>(num_physical), 0);
+    bool done_at_zero = false;
+    const auto seed = [&](auto&& self, int q) -> void {
+        if (done_at_zero) return;
+        if (q == num_program) {
+            const std::uint64_t executed = closure(dag, coupling, q2p, 0);
+            const state s{pack(q2p), executed};
+            if (executed == all_executed) {
+                done_at_zero = true;
+                return;
+            }
+            if (seen.insert(s).second) frontier.push_back(s);
+            return;
+        }
+        for (int p = 0; p < num_physical; ++p) {
+            if (used[static_cast<std::size_t>(p)]) continue;
+            used[static_cast<std::size_t>(p)] = 1;
+            q2p[static_cast<std::size_t>(q)] = p;
+            self(self, q + 1);
+            used[static_cast<std::size_t>(p)] = 0;
+        }
+    };
+    seed(seed, 0);
+    if (done_at_zero) {
+        result.solved = true;
+        result.optimal_swaps = 0;
+        result.states_explored = seen.size();
+        return result;
+    }
+
+    // Level-order BFS: one level per SWAP.
+    std::vector<int> p2q(static_cast<std::size_t>(num_physical), -1);
+    std::vector<int> scratch(static_cast<std::size_t>(num_program), -1);
+    for (int depth = 1; depth <= options.max_swaps; ++depth) {
+        std::size_t level_size = frontier.size();
+        if (level_size == 0) break;
+        while (level_size-- > 0) {
+            const state cur = frontier.front();
+            frontier.pop_front();
+            unpack(cur.placement, scratch);
+            for (const auto& e : coupling.edges()) {
+                // Swap occupants of physical e.a / e.b.
+                std::fill(p2q.begin(), p2q.end(), -1);
+                for (int q = 0; q < num_program; ++q) {
+                    p2q[static_cast<std::size_t>(scratch[static_cast<std::size_t>(q)])] = q;
+                }
+                const int qa = p2q[static_cast<std::size_t>(e.a)];
+                const int qb = p2q[static_cast<std::size_t>(e.b)];
+                std::vector<int> next = scratch;
+                if (qa != -1) next[static_cast<std::size_t>(qa)] = e.b;
+                if (qb != -1) next[static_cast<std::size_t>(qb)] = e.a;
+                const std::uint64_t executed = closure(dag, coupling, next, cur.executed);
+                const state ns{pack(next), executed};
+                if (executed == all_executed) {
+                    result.solved = true;
+                    result.optimal_swaps = depth;
+                    result.states_explored = seen.size();
+                    return result;
+                }
+                if (seen.size() >= options.max_states) {
+                    result.states_explored = seen.size();
+                    return result;  // aborted
+                }
+                if (seen.insert(ns).second) frontier.push_back(ns);
+            }
+        }
+    }
+    result.states_explored = seen.size();
+    return result;  // not solvable within max_swaps
+}
+
+}  // namespace qubikos::exact

@@ -1,0 +1,35 @@
+// Brute-force exact layout synthesis for tiny instances.
+//
+// Independent cross-check for the SAT-based solver: breadth-first search
+// over (mapping, executed-gate-set) states, starting from *every* initial
+// mapping at cost 0 (the initial mapping is free), with greedy closure
+// (executing an executable gate is never harmful for swap count). The
+// minimal BFS depth that executes all gates is the optimal SWAP count.
+//
+// Complexity is factorial in qubit count — intended for <= ~7 physical
+// qubits and <= 64 two-qubit gates, i.e. unit tests.
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/circuit.hpp"
+#include "graph/graph.hpp"
+
+namespace qubikos::exact {
+
+struct brute_options {
+    int max_swaps = 8;
+    /// Abort (solved=false) when the visited-state set exceeds this.
+    std::size_t max_states = 5'000'000;
+};
+
+struct brute_result {
+    bool solved = false;
+    int optimal_swaps = -1;
+    std::size_t states_explored = 0;
+};
+
+[[nodiscard]] brute_result brute_force_optimal_swaps(const circuit& c, const graph& coupling,
+                                                     const brute_options& options = {});
+
+}  // namespace qubikos::exact

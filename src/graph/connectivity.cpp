@@ -1,0 +1,135 @@
+#include "graph/connectivity.hpp"
+
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace qubikos {
+
+namespace {
+
+/// Small union-find with path halving.
+class dsu {
+public:
+    explicit dsu(int n) : parent_(static_cast<std::size_t>(n)) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    int find(int v) {
+        while (parent_[static_cast<std::size_t>(v)] != v) {
+            parent_[static_cast<std::size_t>(v)] =
+                parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(v)])];
+            v = parent_[static_cast<std::size_t>(v)];
+        }
+        return v;
+    }
+
+    void unite(int a, int b) { parent_[static_cast<std::size_t>(find(a))] = find(b); }
+
+private:
+    std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<int> connected_components(const graph& g) {
+    const int n = g.num_vertices();
+    std::vector<int> label(static_cast<std::size_t>(n), -1);
+    int next = 0;
+    std::deque<int> queue;
+    for (int s = 0; s < n; ++s) {
+        if (label[static_cast<std::size_t>(s)] != -1) continue;
+        label[static_cast<std::size_t>(s)] = next;
+        queue.push_back(s);
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (const int v : g.neighbors(u)) {
+                if (label[static_cast<std::size_t>(v)] == -1) {
+                    label[static_cast<std::size_t>(v)] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        ++next;
+    }
+    return label;
+}
+
+bool is_connected(const graph& g) {
+    if (g.num_vertices() <= 1) return true;
+    const auto label = connected_components(g);
+    for (const int l : label) {
+        if (l != 0) return false;
+    }
+    return true;
+}
+
+std::vector<edge> connect_components(const graph& allowed, const std::vector<edge>& existing,
+                                     const std::vector<int>& terminals) {
+    if (terminals.empty()) return {};
+    const int n = allowed.num_vertices();
+    for (const int t : terminals) {
+        if (t < 0 || t >= n) throw std::out_of_range("connect_components: bad terminal");
+    }
+
+    dsu components(n);
+    for (const auto& e : existing) components.unite(e.a, e.b);
+
+    std::vector<edge> patch;
+    const auto all_joined = [&]() {
+        const int root = components.find(terminals.front());
+        for (const int t : terminals) {
+            if (components.find(t) != root) return false;
+        }
+        return true;
+    };
+
+    while (!all_joined()) {
+        const int target_root = components.find(terminals.front());
+        // Roots of components that still hold an unjoined terminal.
+        std::unordered_set<int> wanted_roots;
+        for (const int t : terminals) {
+            const int r = components.find(t);
+            if (r != target_root) wanted_roots.insert(r);
+        }
+
+        // Multi-source BFS from the whole target component through `allowed`.
+        std::vector<int> parent(static_cast<std::size_t>(n), -2);
+        std::deque<int> queue;
+        for (int v = 0; v < n; ++v) {
+            if (components.find(v) == target_root) {
+                parent[static_cast<std::size_t>(v)] = -1;
+                queue.push_back(v);
+            }
+        }
+        int hit = -1;
+        while (!queue.empty() && hit == -1) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (const int v : allowed.neighbors(u)) {
+                if (parent[static_cast<std::size_t>(v)] != -2) continue;
+                parent[static_cast<std::size_t>(v)] = u;
+                if (wanted_roots.count(components.find(v)) > 0) {
+                    hit = v;
+                    break;
+                }
+                queue.push_back(v);
+            }
+        }
+        if (hit == -1) {
+            throw std::runtime_error(
+                "connect_components: terminals not connectable within allowed graph");
+        }
+        for (int v = hit; parent[static_cast<std::size_t>(v)] != -1;
+             v = parent[static_cast<std::size_t>(v)]) {
+            const int u = parent[static_cast<std::size_t>(v)];
+            patch.emplace_back(u, v);
+            components.unite(u, v);
+        }
+    }
+    return patch;
+}
+
+}  // namespace qubikos

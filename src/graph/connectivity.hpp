@@ -1,0 +1,31 @@
+// Connectivity queries and component-connecting utilities.
+//
+// The backbone builder (Algorithm 2) must make a section's interaction
+// graph connected before the BFS gate ordering can cover every gate; it
+// does so by adding edges that are executable under the current mapping,
+// i.e. edges of an "allowed" graph. connect_components computes such a
+// patch set of allowed edges.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qubikos {
+
+/// Component label (0..k-1) per vertex.
+[[nodiscard]] std::vector<int> connected_components(const graph& g);
+
+[[nodiscard]] bool is_connected(const graph& g);
+
+/// Computes a set of edges from `allowed` that, added to `existing`,
+/// connects every vertex of `terminals` into one component (paths may
+/// route through non-terminal vertices of `allowed`). `existing` edges are
+/// interpreted over the same vertex ids as `allowed`. Throws if the
+/// terminals cannot be connected inside `allowed` (allowed graph
+/// disconnected across them).
+[[nodiscard]] std::vector<edge> connect_components(const graph& allowed,
+                                                   const std::vector<edge>& existing,
+                                                   const std::vector<int>& terminals);
+
+}  // namespace qubikos

@@ -1,0 +1,31 @@
+#include "graph/distance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace qubikos {
+
+distance_matrix::distance_matrix(const graph& g) : n_(g.num_vertices()) {
+    dist_.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+    for (int v = 0; v < n_; ++v) {
+        const auto row = bfs_distances(g, {v});
+        dist_.insert(dist_.end(), row.begin(), row.end());
+    }
+}
+
+int distance_matrix::at(int u, int v) const {
+    if (u < 0 || v < 0 || u >= n_ || v >= n_) {
+        throw std::out_of_range("distance_matrix::at: vertex out of range");
+    }
+    return (*this)(u, v);
+}
+
+int distance_matrix::diameter() const {
+    int best = 0;
+    for (const int d : dist_) best = std::max(best, d);
+    return best;
+}
+
+}  // namespace qubikos

@@ -1,0 +1,37 @@
+// All-pairs shortest-path distances on unweighted graphs.
+//
+// Every heuristic router scores SWAP candidates by coupling-graph
+// distance; the matrix is computed once per architecture and shared.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qubikos {
+
+/// Dense APSP matrix computed by one BFS per vertex. Distances of
+/// disconnected pairs are reported as unreachable().
+class distance_matrix {
+public:
+    distance_matrix() = default;
+    explicit distance_matrix(const graph& g);
+
+    [[nodiscard]] int operator()(int u, int v) const {
+        return dist_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+                     static_cast<std::size_t>(v)];
+    }
+
+    [[nodiscard]] int at(int u, int v) const;
+    [[nodiscard]] int num_vertices() const { return n_; }
+    [[nodiscard]] static constexpr int unreachable() { return -1; }
+
+    /// Largest finite pairwise distance (0 for the empty graph).
+    [[nodiscard]] int diameter() const;
+
+private:
+    int n_ = 0;
+    std::vector<int> dist_;
+};
+
+}  // namespace qubikos

@@ -1,0 +1,71 @@
+#include "graph/gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qubikos {
+
+graph path_graph(int n) {
+    graph g(n);
+    for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+    return g;
+}
+
+graph cycle_graph(int n) {
+    if (n < 3) throw std::invalid_argument("cycle_graph: need n >= 3");
+    graph g = path_graph(n);
+    g.add_edge(n - 1, 0);
+    return g;
+}
+
+graph star_graph(int leaves) {
+    if (leaves < 0) throw std::invalid_argument("star_graph: negative leaves");
+    graph g(leaves + 1);
+    for (int i = 1; i <= leaves; ++i) g.add_edge(0, i);
+    return g;
+}
+
+graph complete_graph(int n) {
+    graph g(n);
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) g.add_edge(i, j);
+    }
+    return g;
+}
+
+graph grid_graph(int rows, int cols) {
+    if (rows < 1 || cols < 1) throw std::invalid_argument("grid_graph: empty grid");
+    graph g(rows * cols);
+    const auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+            if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+        }
+    }
+    return g;
+}
+
+graph random_connected_graph(int n, int extra_edges, rng& random) {
+    if (n < 1) throw std::invalid_argument("random_connected_graph: need n >= 1");
+    graph g(n);
+    // Random spanning tree: attach each vertex (in shuffled order) to a
+    // uniformly chosen earlier vertex.
+    const auto order = random.permutation(n);
+    for (int i = 1; i < n; ++i) {
+        const int parent = order[static_cast<std::size_t>(
+            random.below(static_cast<std::uint64_t>(i)))];
+        g.add_edge(order[static_cast<std::size_t>(i)], parent);
+    }
+    const long long max_edges = static_cast<long long>(n) * (n - 1) / 2;
+    long long budget = std::min<long long>(extra_edges, max_edges - g.num_edges());
+    int attempts_left = static_cast<int>(budget) * 30 + 100;
+    while (budget > 0 && attempts_left-- > 0) {
+        const int u = random.range(0, n - 1);
+        const int v = random.range(0, n - 1);
+        if (u != v && g.add_edge_if_absent(u, v)) --budget;
+    }
+    return g;
+}
+
+}  // namespace qubikos

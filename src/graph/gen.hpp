@@ -1,0 +1,23 @@
+// Parametric graph constructors.
+//
+// Regular families used by tests and by the architecture library, plus
+// random connected graphs for property-based testing.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qubikos {
+
+[[nodiscard]] graph path_graph(int n);
+[[nodiscard]] graph cycle_graph(int n);
+[[nodiscard]] graph star_graph(int leaves);
+[[nodiscard]] graph complete_graph(int n);
+/// rows x cols grid with rook-step adjacency.
+[[nodiscard]] graph grid_graph(int rows, int cols);
+
+/// Connected random graph: a random spanning tree plus `extra_edges`
+/// additional distinct random edges (clamped to the complete graph).
+[[nodiscard]] graph random_connected_graph(int n, int extra_edges, rng& random);
+
+}  // namespace qubikos

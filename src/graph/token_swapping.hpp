@@ -1,0 +1,39 @@
+// Token swapping: realize a target permutation of tokens on a graph with
+// (approximately) few swaps.
+//
+// QLS context: remapping the current qubit placement onto a desired one
+// is exactly token swapping (Siraichi et al. [15] cast qubit allocation
+// as subgraph isomorphism + token swapping). The library routers use it
+// as an analysis primitive: the swap distance between a tool's chosen
+// mapping and the planted optimal mapping measures placement quality
+// (see eval/placement.hpp).
+//
+// Algorithm: the classic 4-approximation — repeatedly perform swaps that
+// move at least one token strictly closer to its destination, preferring
+// "happy" swaps that help both tokens; when only half-helpful swaps
+// exist, cycle detection prevents livelock (Miltzow et al., ESA'16
+// style).
+#pragma once
+
+#include <vector>
+
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace qubikos {
+
+/// Computes a swap sequence (edges of g) that transforms `current` into
+/// `target`. Both are placements: index = token (program qubit), value =
+/// vertex (physical qubit); -1-free and injective. Unplaced vertices hold
+/// no token and may be used freely as intermediates.
+/// Throws std::invalid_argument on malformed placements or disconnected
+/// requirements.
+[[nodiscard]] std::vector<edge> token_swapping_sequence(const graph& g,
+                                                        const std::vector<int>& current,
+                                                        const std::vector<int>& target);
+
+/// Number of swaps token_swapping_sequence would emit (convenience).
+[[nodiscard]] std::size_t token_swap_distance(const graph& g, const std::vector<int>& current,
+                                              const std::vector<int>& target);
+
+}  // namespace qubikos

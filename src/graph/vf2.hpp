@@ -1,0 +1,56 @@
+// VF2-style subgraph monomorphism.
+//
+// QLS context (Sec. III of the paper): a circuit segment is executable
+// without SWAPs iff its interaction graph is monomorphic to a subgraph of
+// the coupling graph. QUEKO circuits are solvable this way; QUBIKOS
+// sections are constructed so that this test fails, and the verifier uses
+// this module to prove it.
+//
+// The mapping searched for is a *monomorphism* (non-induced embedding):
+// injective on vertices, every pattern edge lands on a target edge.
+// Isolated pattern vertices are placed implicitly — they embed whenever
+// enough spare target vertices remain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qubikos {
+
+struct vf2_options {
+    /// Abort after exploring this many search nodes (0 = unlimited).
+    std::uint64_t node_limit = 0;
+};
+
+struct vf2_result {
+    /// True iff an embedding was found.
+    bool found = false;
+    /// True iff the search stopped on node_limit before concluding.
+    bool limit_hit = false;
+    /// pattern vertex -> target vertex; isolated pattern vertices are
+    /// assigned arbitrary spare targets. Empty unless found.
+    std::vector<int> mapping;
+    std::uint64_t nodes_explored = 0;
+};
+
+/// Searches for an embedding of `pattern` into `target`.
+[[nodiscard]] vf2_result find_subgraph_monomorphism(const graph& pattern, const graph& target,
+                                                    const vf2_options& options = {});
+
+/// Convenience wrapper; throws std::runtime_error if node_limit aborts the
+/// search inconclusively.
+[[nodiscard]] bool is_subgraph_monomorphic(const graph& pattern, const graph& target,
+                                           const vf2_options& options = {});
+
+/// Exhaustive reference implementation for cross-checking VF2 in tests.
+/// Exponential; only call with tiny graphs (<= ~8 pattern vertices).
+[[nodiscard]] bool brute_force_monomorphic(const graph& pattern, const graph& target);
+
+/// Checks that `mapping` (pattern vertex -> target vertex) is a valid
+/// monomorphism witness.
+[[nodiscard]] bool check_monomorphism(const graph& pattern, const graph& target,
+                                      const std::vector<int>& mapping);
+
+}  // namespace qubikos

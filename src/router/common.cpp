@@ -1,0 +1,206 @@
+#include "router/common.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace qubikos::router {
+
+// --- dag_frontier ----------------------------------------------------------
+
+dag_frontier::dag_frontier(const gate_dag& dag) : dag_(&dag) {
+    remaining_preds_.resize(static_cast<std::size_t>(dag.num_nodes()));
+    executed_flags_.assign(static_cast<std::size_t>(dag.num_nodes()), 0);
+    for (int node = 0; node < dag.num_nodes(); ++node) {
+        remaining_preds_[static_cast<std::size_t>(node)] =
+            static_cast<int>(dag.preds(node).size());
+        if (remaining_preds_[static_cast<std::size_t>(node)] == 0) front_.push_back(node);
+    }
+}
+
+void dag_frontier::execute(int node) {
+    const auto it = std::find(front_.begin(), front_.end(), node);
+    if (it == front_.end()) {
+        throw std::logic_error("dag_frontier::execute: node not in front layer");
+    }
+    front_.erase(it);
+    executed_flags_[static_cast<std::size_t>(node)] = 1;
+    ++executed_;
+    for (const int succ : dag_->succs(node)) {
+        if (--remaining_preds_[static_cast<std::size_t>(succ)] == 0) front_.push_back(succ);
+    }
+}
+
+std::vector<int> dag_frontier::lookahead_set(int limit) const {
+    std::vector<int> out;
+    if (limit <= 0) return out;
+    std::vector<char> seen(static_cast<std::size_t>(dag_->num_nodes()), 0);
+    std::deque<int> queue;
+    for (const int node : front_) {
+        seen[static_cast<std::size_t>(node)] = 1;
+        queue.push_back(node);
+    }
+    while (!queue.empty() && static_cast<int>(out.size()) < limit) {
+        const int cur = queue.front();
+        queue.pop_front();
+        for (const int succ : dag_->succs(cur)) {
+            if (seen[static_cast<std::size_t>(succ)] ||
+                executed_flags_[static_cast<std::size_t>(succ)]) {
+                continue;
+            }
+            seen[static_cast<std::size_t>(succ)] = 1;
+            out.push_back(succ);
+            if (static_cast<int>(out.size()) >= limit) break;
+            queue.push_back(succ);
+        }
+    }
+    return out;
+}
+
+// --- emission_buffer --------------------------------------------------------
+
+emission_buffer::emission_buffer(const circuit& logical, const gate_dag& dag, int num_physical)
+    : logical_(&logical), dag_(&dag), physical_(num_physical) {
+    per_qubit_.resize(static_cast<std::size_t>(logical.num_qubits()));
+    cursor_.assign(static_cast<std::size_t>(logical.num_qubits()), 0);
+    for (std::size_t i = 0; i < logical.size(); ++i) {
+        const gate& g = logical[i];
+        per_qubit_[static_cast<std::size_t>(g.q0)].push_back(i);
+        if (g.is_two_qubit()) per_qubit_[static_cast<std::size_t>(g.q1)].push_back(i);
+    }
+}
+
+void emission_buffer::drain_single_qubit(int program_qubit, std::size_t before_index,
+                                         const mapping& current) {
+    auto& cursor = cursor_[static_cast<std::size_t>(program_qubit)];
+    const auto& list = per_qubit_[static_cast<std::size_t>(program_qubit)];
+    while (cursor < list.size() && list[cursor] < before_index) {
+        const gate& g = (*logical_)[list[cursor]];
+        if (g.is_two_qubit()) {
+            throw std::logic_error(
+                "emission_buffer: two-qubit gate executed out of dependency order");
+        }
+        physical_.append(gate::single(g.kind, current.physical(program_qubit), g.angle));
+        ++cursor;
+    }
+}
+
+void emission_buffer::execute_two_qubit(int node, const mapping& current) {
+    const std::size_t index = dag_->circuit_index(node);
+    const gate& g = dag_->node_gate(node);
+    drain_single_qubit(g.q0, index, current);
+    drain_single_qubit(g.q1, index, current);
+    physical_.append(gate::two(g.kind, current.physical(g.q0), current.physical(g.q1)));
+    // Step both cursors past this gate.
+    ++cursor_[static_cast<std::size_t>(g.q0)];
+    ++cursor_[static_cast<std::size_t>(g.q1)];
+}
+
+void emission_buffer::emit_swap(int pa, int pb) {
+    physical_.append(gate::swap_gate(pa, pb));
+    ++swaps_;
+}
+
+void emission_buffer::finish(const mapping& current) {
+    for (int q = 0; q < logical_->num_qubits(); ++q) {
+        drain_single_qubit(q, logical_->size(), current);
+    }
+}
+
+// --- greedy placement -------------------------------------------------------
+
+mapping greedy_placement(const circuit& logical, const graph& coupling,
+                         const distance_matrix& dist, std::size_t gate_window) {
+    const int num_program = logical.num_qubits();
+    const int num_physical = coupling.num_vertices();
+    if (num_program > num_physical) {
+        throw std::invalid_argument("greedy_placement: more program than physical qubits");
+    }
+
+    // Interaction graph of (a prefix of) the circuit.
+    graph interactions(num_program);
+    std::size_t seen = 0;
+    for (const auto& g : logical.gates()) {
+        if (!g.is_two_qubit()) continue;
+        if (gate_window != 0 && seen >= gate_window) break;
+        interactions.add_edge_if_absent(g.q0, g.q1);
+        ++seen;
+    }
+
+    std::vector<int> order(static_cast<std::size_t>(num_program));
+    for (int q = 0; q < num_program; ++q) order[static_cast<std::size_t>(q)] = q;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return interactions.degree(a) > interactions.degree(b);
+    });
+
+    std::vector<int> q2p(static_cast<std::size_t>(num_program), -1);
+    std::vector<char> used(static_cast<std::size_t>(num_physical), 0);
+    for (const int q : order) {
+        int best = -1;
+        long best_cost = 0;
+        for (int p = 0; p < num_physical; ++p) {
+            if (used[static_cast<std::size_t>(p)]) continue;
+            long cost = 0;
+            for (const int partner : interactions.neighbors(q)) {
+                const int pp = q2p[static_cast<std::size_t>(partner)];
+                if (pp != -1) cost += dist(p, pp);
+            }
+            // Prefer low distance to placed partners; ties by high degree
+            // (center of the device), encoded by subtracting degree
+            // scaled below any distance contribution.
+            const long score = cost * 1024 - coupling.degree(p);
+            if (best == -1 || score < best_cost) {
+                best = p;
+                best_cost = score;
+            }
+        }
+        q2p[static_cast<std::size_t>(q)] = best;
+        used[static_cast<std::size_t>(best)] = 1;
+    }
+    return mapping::from_program_to_physical(q2p, num_physical);
+}
+
+// --- force_route -------------------------------------------------------------
+
+void force_route(int node, const gate_dag& dag, const graph& coupling,
+                 const distance_matrix& dist, mapping& current, emission_buffer& out) {
+    const gate& g = dag.node_gate(node);
+    int pa = current.physical(g.q0);
+    const int pb = current.physical(g.q1);
+    while (!coupling.has_edge(pa, pb)) {
+        // Move q0 one step along a shortest path toward q1.
+        int next = -1;
+        for (const int pn : coupling.neighbors(pa)) {
+            if (dist(pn, pb) < dist(pa, pb)) {
+                next = pn;
+                break;
+            }
+        }
+        if (next == -1) {
+            throw std::logic_error("force_route: no distance-decreasing neighbor");
+        }
+        out.emit_swap(pa, next);
+        current.swap_physical(pa, next);
+        pa = next;
+    }
+}
+
+// --- candidate swaps ----------------------------------------------------------
+
+std::vector<edge> candidate_swaps(const std::vector<int>& front, const gate_dag& dag,
+                                  const graph& coupling, const mapping& current) {
+    std::set<edge> out;
+    for (const int node : front) {
+        const gate& g = dag.node_gate(node);
+        for (const int q : {g.q0, g.q1}) {
+            const int p = current.physical(q);
+            for (const int pn : coupling.neighbors(p)) out.insert(edge(p, pn));
+        }
+    }
+    return {out.begin(), out.end()};
+}
+
+}  // namespace qubikos::router

@@ -1,0 +1,265 @@
+#include "router/sabre.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "circuit/dag.hpp"
+#include "router/common.hpp"
+#include "util/rng.hpp"
+
+namespace qubikos::router {
+
+namespace {
+
+/// One routing pass over a prepared DAG. Returns the final mapping.
+mapping route_pass(const gate_dag& dag, const graph& coupling,
+                   const distance_matrix& dist, const mapping& initial,
+                   const sabre_options& options, rng& random, emission_buffer* emit,
+                   const sabre_observer& observer, std::size_t* force_route_count) {
+    mapping current = initial;
+    dag_frontier frontier(dag);
+    std::vector<double> decay(static_cast<std::size_t>(coupling.num_vertices()), 1.0);
+    int swaps_since_reset = 0;
+    int swaps_since_progress = 0;
+    const int release_threshold =
+        options.release_valve > 0 ? options.release_valve : 3 * dist.diameter() + 20;
+
+    const auto reset_decay = [&decay, &swaps_since_reset]() {
+        std::fill(decay.begin(), decay.end(), 1.0);
+        swaps_since_reset = 0;
+    };
+
+    // Distance of a gate after hypothetically applying swap (pa, pb).
+    const auto gate_distance_after = [&](int node, int pa, int pb) {
+        const gate& g = dag.node_gate(node);
+        auto moved = [pa, pb](int p) { return p == pa ? pb : (p == pb ? pa : p); };
+        return dist(moved(current.physical(g.q0)), moved(current.physical(g.q1)));
+    };
+
+    while (!frontier.done()) {
+        // Execute everything executable.
+        bool executed_any = true;
+        bool progressed = false;
+        while (executed_any) {
+            executed_any = false;
+            const std::vector<int> front_copy = frontier.front();
+            for (const int node : front_copy) {
+                const gate& g = dag.node_gate(node);
+                if (coupling.has_edge(current.physical(g.q0), current.physical(g.q1))) {
+                    if (emit != nullptr) emit->execute_two_qubit(node, current);
+                    frontier.execute(node);
+                    executed_any = true;
+                    progressed = true;
+                }
+            }
+        }
+        if (progressed) {
+            reset_decay();
+            swaps_since_progress = 0;
+        }
+        if (frontier.done()) break;
+
+        // Release valve: guarantee progress on adversarial instances.
+        if (swaps_since_progress > release_threshold) {
+            if (force_route_count != nullptr) ++(*force_route_count);
+            int best_node = frontier.front().front();
+            int best_distance = std::numeric_limits<int>::max();
+            for (const int node : frontier.front()) {
+                const gate& g = dag.node_gate(node);
+                const int d = dist(current.physical(g.q0), current.physical(g.q1));
+                if (d < best_distance) {
+                    best_distance = d;
+                    best_node = node;
+                }
+            }
+            if (emit != nullptr) {
+                force_route(best_node, dag, coupling, dist, current, *emit);
+            } else {
+                // Mapping-only pass: apply the same swaps without emission.
+                const gate& g = dag.node_gate(best_node);
+                int pa = current.physical(g.q0);
+                const int pb = current.physical(g.q1);
+                while (!coupling.has_edge(pa, pb)) {
+                    for (const int pn : coupling.neighbors(pa)) {
+                        if (dist(pn, pb) < dist(pa, pb)) {
+                            current.swap_physical(pa, pn);
+                            pa = pn;
+                            break;
+                        }
+                    }
+                }
+            }
+            swaps_since_progress = 0;
+            reset_decay();
+            continue;
+        }
+
+        // Score candidate swaps.
+        const auto candidates = candidate_swaps(frontier.front(), dag, coupling, current);
+        const auto extended = frontier.lookahead_set(options.extended_set_size);
+        const auto& front = frontier.front();
+
+        // Extended-set position weights (uniform when lookahead_decay==1).
+        std::vector<double> ext_weight(extended.size(), 1.0);
+        double ext_norm = static_cast<double>(extended.size());
+        if (options.lookahead_decay < 1.0 && !extended.empty()) {
+            double w = 1.0;
+            ext_norm = 0.0;
+            for (std::size_t i = 0; i < extended.size(); ++i) {
+                ext_weight[i] = w;
+                ext_norm += w;
+                w *= options.lookahead_decay;
+            }
+        }
+
+        std::vector<swap_score> scores;
+        scores.reserve(candidates.size());
+        double best_total = std::numeric_limits<double>::infinity();
+        for (const auto& cand : candidates) {
+            swap_score s;
+            s.candidate = cand;
+            double basic = 0.0;
+            for (const int node : front) basic += gate_distance_after(node, cand.a, cand.b);
+            s.basic = basic / static_cast<double>(front.size());
+            if (!extended.empty()) {
+                double ext = 0.0;
+                for (std::size_t i = 0; i < extended.size(); ++i) {
+                    ext += ext_weight[i] * gate_distance_after(extended[i], cand.a, cand.b);
+                }
+                s.lookahead = options.extended_set_weight * ext / ext_norm;
+            }
+            s.decay_factor = std::max(decay[static_cast<std::size_t>(cand.a)],
+                                      decay[static_cast<std::size_t>(cand.b)]);
+            best_total = std::min(best_total, s.total());
+            scores.push_back(s);
+        }
+
+        // Random tie-break among the best candidates (as Qiskit does).
+        std::vector<std::size_t> best_indices;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            if (scores[i].total() <= best_total + 1e-12) best_indices.push_back(i);
+        }
+        const std::size_t pick = best_indices[random.below(best_indices.size())];
+        const edge chosen = scores[pick].candidate;
+
+        if (observer) {
+            sabre_decision d;
+            d.front_nodes = front;
+            d.extended_nodes = extended;
+            d.scores = scores;
+            d.chosen = chosen;
+            d.swaps_so_far = emit != nullptr ? emit->swaps_emitted() : 0;
+            observer(d);
+        }
+
+        if (emit != nullptr) emit->emit_swap(chosen.a, chosen.b);
+        current.swap_physical(chosen.a, chosen.b);
+        decay[static_cast<std::size_t>(chosen.a)] += options.decay_increment;
+        decay[static_cast<std::size_t>(chosen.b)] += options.decay_increment;
+        ++swaps_since_progress;
+        if (++swaps_since_reset >= options.decay_reset_interval) reset_decay();
+    }
+
+    return current;
+}
+
+/// Reverses a circuit's gate order (dependency structure mirrored); used
+/// by the bidirectional initial-mapping refinement.
+circuit reversed(const circuit& c) {
+    circuit out(c.num_qubits());
+    for (std::size_t i = c.size(); i > 0; --i) out.append(c[i - 1]);
+    return out;
+}
+
+}  // namespace
+
+routed_circuit route_sabre_with_initial(const circuit& logical, const graph& coupling,
+                                        const mapping& initial, const sabre_options& options,
+                                        const sabre_observer& observer, sabre_stats* stats) {
+    const gate_dag dag(logical);
+    const distance_matrix dist(coupling);
+    rng random(options.seed);
+
+    emission_buffer emit(logical, dag, coupling.num_vertices());
+    std::size_t force_routes = 0;
+    const mapping final_mapping = route_pass(dag, coupling, dist, initial, options,
+                                             random, &emit, observer, &force_routes);
+    emit.finish(final_mapping);
+
+    routed_circuit out;
+    out.initial = initial;
+    out.physical = emit.take();
+    if (stats != nullptr) {
+        stats->best_swaps = out.swap_count();
+        stats->best_trial = 0;
+        stats->force_routes = force_routes;
+    }
+    return out;
+}
+
+mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
+                            const mapping& initial, const sabre_options& options) {
+    const gate_dag dag(logical);
+    const distance_matrix dist(coupling);
+    rng random(options.seed);
+    return route_pass(dag, coupling, dist, initial, options, random, nullptr, {},
+                      nullptr);
+}
+
+routed_circuit route_sabre(const circuit& logical, const graph& coupling,
+                           const sabre_options& options, sabre_stats* stats) {
+    if (options.trials < 1) throw std::invalid_argument("route_sabre: trials must be >= 1");
+    const gate_dag dag(logical);
+    const gate_dag reverse_dag = gate_dag(reversed(logical));
+    const circuit reversed_logical = reversed(logical);
+    const distance_matrix dist(coupling);
+
+    routed_circuit best;
+    std::size_t best_swaps = std::numeric_limits<std::size_t>::max();
+    int best_trial = -1;
+    std::size_t total_force_routes = 0;
+
+    for (int trial = 0; trial < options.trials; ++trial) {
+        // Salted stream: tool seeds must never alias generator seeds, or
+        // a trial would silently reproduce the planted optimal mapping.
+        rng random((options.seed ^ 0x5ab3e7a1c2d9f04bULL) +
+                   static_cast<std::uint64_t>(trial) * 0x9e3779b97f4a7c15ULL);
+        mapping initial =
+            mapping::random(logical.num_qubits(), coupling.num_vertices(), random);
+
+        if (options.bidirectional) {
+            // Forward then backward mapping-only passes refine the initial
+            // mapping (SABRE's bidirectional trick).
+            const mapping after_forward =
+                route_pass(dag, coupling, dist, initial, options, random,
+                           nullptr, {}, nullptr);
+            initial = route_pass(reverse_dag, coupling, dist, after_forward,
+                                 options, random, nullptr, {}, nullptr);
+        }
+
+        emission_buffer emit(logical, dag, coupling.num_vertices());
+        std::size_t force_routes = 0;
+        const mapping final_mapping = route_pass(dag, coupling, dist, initial,
+                                                 options, random, &emit, {}, &force_routes);
+        emit.finish(final_mapping);
+        total_force_routes += force_routes;
+
+        const std::size_t swaps = emit.swaps_emitted();
+        if (swaps < best_swaps) {
+            best_swaps = swaps;
+            best_trial = trial;
+            best.initial = initial;
+            best.physical = emit.take();
+        }
+    }
+
+    if (stats != nullptr) {
+        stats->best_swaps = best_swaps;
+        stats->best_trial = best_trial;
+        stats->force_routes = total_force_routes;
+    }
+    return best;
+}
+
+}  // namespace qubikos::router

@@ -1,0 +1,107 @@
+#include "sat/dimacs.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qubikos::sat {
+
+void formula::add_clause(std::vector<lit> lits) {
+    for (const lit l : lits) {
+        if (l.variable() < 0 || l.variable() >= num_vars_) {
+            throw std::out_of_range("formula::add_clause: variable out of range");
+        }
+    }
+    clauses_.push_back(std::move(lits));
+}
+
+bool formula::load_into(solver& s) const {
+    if (s.num_vars() != 0) throw std::invalid_argument("formula::load_into: solver not fresh");
+    for (int v = 0; v < num_vars_; ++v) s.new_var();
+    bool ok = true;
+    for (const auto& clause : clauses_) ok = s.add_clause(clause) && ok;
+    return ok;
+}
+
+bool formula::satisfied_by(const std::vector<bool>& assignment) const {
+    if (static_cast<int>(assignment.size()) != num_vars_) {
+        throw std::invalid_argument("formula::satisfied_by: wrong assignment size");
+    }
+    for (const auto& clause : clauses_) {
+        bool sat = false;
+        for (const lit l : clause) {
+            if (assignment[static_cast<std::size_t>(l.variable())] != l.negated()) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat) return false;
+    }
+    return true;
+}
+
+bool formula::brute_force_satisfiable() const {
+    if (num_vars_ > 25) {
+        throw std::invalid_argument("formula::brute_force_satisfiable: too many variables");
+    }
+    const std::uint64_t count = std::uint64_t{1} << num_vars_;
+    std::vector<bool> assignment(static_cast<std::size_t>(num_vars_));
+    for (std::uint64_t bits = 0; bits < count; ++bits) {
+        for (int v = 0; v < num_vars_; ++v) {
+            assignment[static_cast<std::size_t>(v)] = ((bits >> v) & 1) != 0;
+        }
+        if (satisfied_by(assignment)) return true;
+    }
+    return false;
+}
+
+std::string formula::to_dimacs() const {
+    std::string out = "p cnf " + std::to_string(num_vars_) + " " +
+                      std::to_string(clauses_.size()) + "\n";
+    for (const auto& clause : clauses_) {
+        for (const lit l : clause) {
+            out += (l.negated() ? "-" : "") + std::to_string(l.variable() + 1) + " ";
+        }
+        out += "0\n";
+    }
+    return out;
+}
+
+formula formula::from_dimacs(const std::string& text) {
+    std::istringstream in(text);
+    std::string token;
+    formula out;
+    int declared_clauses = -1;
+    std::vector<lit> clause;
+    while (in >> token) {
+        if (token == "c") {
+            std::string rest;
+            std::getline(in, rest);
+            continue;
+        }
+        if (token == "p") {
+            std::string kind;
+            int nv = 0;
+            in >> kind >> nv >> declared_clauses;
+            if (kind != "cnf") throw std::runtime_error("dimacs: not a cnf problem line");
+            out = formula(nv);
+            continue;
+        }
+        int value = 0;
+        try {
+            value = std::stoi(token);
+        } catch (const std::exception&) {
+            throw std::runtime_error("dimacs: bad token '" + token + "'");
+        }
+        if (value == 0) {
+            out.add_clause(clause);
+            clause.clear();
+        } else {
+            const var v = std::abs(value) - 1;
+            clause.push_back(lit::make(v, value < 0));
+        }
+    }
+    if (!clause.empty()) throw std::runtime_error("dimacs: clause missing terminating 0");
+    return out;
+}
+
+}  // namespace qubikos::sat

@@ -1,0 +1,46 @@
+// Clause container with DIMACS CNF import/export.
+//
+// Keeps a formula independent of any solver instance so tests can
+// cross-check the CDCL solver against brute-force enumeration, and so
+// encodings can be inspected offline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/literal.hpp"
+#include "sat/solver.hpp"
+
+namespace qubikos::sat {
+
+class formula {
+public:
+    formula() = default;
+    explicit formula(int num_vars) : num_vars_(num_vars) {}
+
+    var new_var() { return num_vars_++; }
+    [[nodiscard]] int num_vars() const { return num_vars_; }
+    [[nodiscard]] const std::vector<std::vector<lit>>& clauses() const { return clauses_; }
+
+    void add_clause(std::vector<lit> lits);
+
+    /// Loads the formula into a fresh-state solver (creates variables
+    /// 0..num_vars-1 in order). Returns false if an empty clause made the
+    /// formula trivially unsat.
+    bool load_into(solver& s) const;
+
+    /// Evaluates under a full assignment (tests / brute force).
+    [[nodiscard]] bool satisfied_by(const std::vector<bool>& assignment) const;
+
+    /// Exhaustive satisfiability check; only sensible for <= ~25 vars.
+    [[nodiscard]] bool brute_force_satisfiable() const;
+
+    [[nodiscard]] std::string to_dimacs() const;
+    [[nodiscard]] static formula from_dimacs(const std::string& text);
+
+private:
+    int num_vars_ = 0;
+    std::vector<std::vector<lit>> clauses_;
+};
+
+}  // namespace qubikos::sat

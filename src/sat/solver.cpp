@@ -1,0 +1,485 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace qubikos::sat {
+
+namespace {
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...) scaled by the caller.
+std::uint64_t luby(std::uint64_t i) {
+    // Find the finite subsequence containing index i and its position.
+    std::uint64_t size = 1;
+    std::uint64_t seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --seq;
+        i = i % size;
+    }
+    return std::uint64_t{1} << seq;
+}
+
+constexpr std::uint64_t kRestartBase = 100;
+
+}  // namespace
+
+var solver::new_var() {
+    const var v = static_cast<var>(assign_.size());
+    assign_.push_back(lbool::undef);
+    phase_.push_back(false);
+    level_.push_back(0);
+    reason_.push_back(kNoReason);
+    activity_.push_back(0.0);
+    heap_index_.push_back(-1);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heap_insert(v);
+    return v;
+}
+
+solver::cref solver::alloc_clause(const std::vector<lit>& lits, bool learned, std::uint32_t lbd) {
+    const cref ref = static_cast<cref>(arena_.size());
+    arena_.push_back(static_cast<std::uint32_t>(lits.size()) |
+                     (learned ? 0x80000000u : 0u));
+    arena_.push_back(lbd);
+    for (const lit l : lits) arena_.push_back(static_cast<std::uint32_t>(l.code));
+    return ref;
+}
+
+void solver::attach(cref ref) {
+    clause_view c = view(ref);
+    assert(c.size() >= 2);
+    watches_[c.get(0).index()].push_back({ref, c.get(1)});
+    watches_[c.get(1).index()].push_back({ref, c.get(0)});
+}
+
+bool solver::add_clause(std::vector<lit> lits) {
+    if (!ok_) return false;
+    assert(current_level() == 0);
+    // Simplify: sort, dedupe, drop false literals, detect tautologies and
+    // satisfied clauses.
+    std::sort(lits.begin(), lits.end(),
+              [](lit a, lit b) { return a.code < b.code; });
+    std::vector<lit> out;
+    out.reserve(lits.size());
+    for (const lit l : lits) {
+        if (l.variable() < 0 || l.variable() >= num_vars()) {
+            throw std::out_of_range("sat::add_clause: unknown variable");
+        }
+        if (!out.empty() && l == out.back()) continue;
+        if (!out.empty() && l == ~out.back()) return true;  // tautology
+        const lbool v = value(l);
+        if (v == lbool::true_) return true;  // satisfied at level 0
+        if (v == lbool::false_) continue;    // drop falsified literal
+        out.push_back(l);
+    }
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], kNoReason);
+        if (propagate() != kNoReason) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+    const cref ref = alloc_clause(out, /*learned=*/false, /*lbd=*/0);
+    problem_clauses_.push_back(ref);
+    ++num_problem_clauses_;
+    attach(ref);
+    return true;
+}
+
+void solver::enqueue(lit l, cref reason) {
+    assert(value(l) == lbool::undef);
+    assign_[static_cast<std::size_t>(l.variable())] =
+        l.negated() ? lbool::false_ : lbool::true_;
+    level_[static_cast<std::size_t>(l.variable())] = current_level();
+    reason_[static_cast<std::size_t>(l.variable())] = reason;
+    trail_.push_back(l);
+}
+
+solver::cref solver::propagate() {
+    while (qhead_ < trail_.size()) {
+        const lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        const lit false_lit = ~p;
+        auto& watch_list = watches_[false_lit.index()];
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < watch_list.size(); ++i) {
+            const watcher w = watch_list[i];
+            if (value(w.blocker) == lbool::true_) {
+                watch_list[keep++] = w;
+                continue;
+            }
+            clause_view c = view(w.ref);
+            // Normalize: the false literal goes to slot 1.
+            if (c.get(0) == false_lit) {
+                c.set(0, c.get(1));
+                c.set(1, false_lit);
+            }
+            const lit first = c.get(0);
+            if (first != w.blocker && value(first) == lbool::true_) {
+                watch_list[keep++] = {w.ref, first};
+                continue;
+            }
+            // Find a replacement watch.
+            bool moved = false;
+            for (std::uint32_t k = 2; k < c.size(); ++k) {
+                if (value(c.get(k)) != lbool::false_) {
+                    c.set(1, c.get(k));
+                    c.set(k, false_lit);
+                    watches_[c.get(1).index()].push_back({w.ref, first});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) continue;
+            // Unit or conflict.
+            watch_list[keep++] = {w.ref, first};
+            if (value(first) == lbool::false_) {
+                // Conflict: restore the remaining watchers and report.
+                for (std::size_t j = i + 1; j < watch_list.size(); ++j) {
+                    watch_list[keep++] = watch_list[j];
+                }
+                watch_list.resize(keep);
+                qhead_ = trail_.size();
+                return w.ref;
+            }
+            enqueue(first, w.ref);
+        }
+        watch_list.resize(keep);
+    }
+    return kNoReason;
+}
+
+void solver::bump_var(var v) {
+    activity_[static_cast<std::size_t>(v)] += var_inc_;
+    if (activity_[static_cast<std::size_t>(v)] > kRescaleThreshold) {
+        for (auto& a : activity_) a *= 1e-100;
+        var_inc_ *= 1e-100;
+    }
+    if (heap_contains(v)) heap_percolate_up(heap_index_[static_cast<std::size_t>(v)]);
+}
+
+void solver::analyze(cref conflict, std::vector<lit>& learnt, int& backtrack_level,
+                     std::uint32_t& lbd) {
+    learnt.clear();
+    learnt.push_back(lit{});  // slot for the asserting literal
+    int counter = 0;
+    lit p{};
+    bool have_p = false;
+    std::size_t trail_index = trail_.size();
+    cref reason = conflict;
+
+    for (;;) {
+        assert(reason != kNoReason);
+        clause_view c = view(reason);
+        for (std::uint32_t i = (have_p ? 1u : 0u); i < c.size(); ++i) {
+            const lit q = c.get(i);
+            const var qv = q.variable();
+            if (seen_[static_cast<std::size_t>(qv)] || level(qv) == 0) continue;
+            seen_[static_cast<std::size_t>(qv)] = 1;
+            bump_var(qv);
+            if (level(qv) >= current_level()) {
+                ++counter;
+            } else {
+                learnt.push_back(q);
+            }
+        }
+        // Next literal on the trail to resolve on.
+        while (!seen_[static_cast<std::size_t>(trail_[trail_index - 1].variable())]) {
+            --trail_index;
+        }
+        --trail_index;
+        p = trail_[trail_index];
+        have_p = true;
+        seen_[static_cast<std::size_t>(p.variable())] = 0;
+        --counter;
+        if (counter == 0) break;
+        reason = reason_[static_cast<std::size_t>(p.variable())];
+    }
+    learnt[0] = ~p;
+
+    // Minimize: drop literals whose reasons are covered by the clause.
+    analyze_clear_.assign(learnt.begin() + 1, learnt.end());
+    for (const lit l : analyze_clear_) seen_[static_cast<std::size_t>(l.variable())] = 1;
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        abstract_levels |= 1u << (level(learnt[i].variable()) & 31);
+    }
+    std::size_t keep = 1;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        if (reason_[static_cast<std::size_t>(learnt[i].variable())] == kNoReason ||
+            !literal_redundant(learnt[i], abstract_levels)) {
+            learnt[keep++] = learnt[i];
+        }
+    }
+    learnt.resize(keep);
+    for (const lit l : analyze_clear_) seen_[static_cast<std::size_t>(l.variable())] = 0;
+    seen_[static_cast<std::size_t>(learnt[0].variable())] = 0;
+
+    // Backtrack level: highest level among the non-asserting literals.
+    backtrack_level = 0;
+    std::size_t max_i = 1;
+    for (std::size_t i = 1; i < learnt.size(); ++i) {
+        if (level(learnt[i].variable()) > level(learnt[max_i].variable())) max_i = i;
+    }
+    if (learnt.size() > 1) {
+        std::swap(learnt[1], learnt[max_i]);
+        backtrack_level = level(learnt[1].variable());
+    }
+
+    // LBD: number of distinct decision levels in the clause.
+    std::vector<int> levels;
+    levels.reserve(learnt.size());
+    for (const lit l : learnt) levels.push_back(level(l.variable()));
+    std::sort(levels.begin(), levels.end());
+    lbd = static_cast<std::uint32_t>(
+        std::unique(levels.begin(), levels.end()) - levels.begin());
+}
+
+bool solver::literal_redundant(lit l, std::uint32_t abstract_levels) {
+    analyze_stack_.clear();
+    analyze_stack_.push_back(l);
+    const std::size_t top = analyze_clear_.size();
+    while (!analyze_stack_.empty()) {
+        const lit cur = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        const cref reason = reason_[static_cast<std::size_t>(cur.variable())];
+        if (reason == kNoReason) {
+            // Reached a decision: not redundant; undo the speculative marks.
+            for (std::size_t i = top; i < analyze_clear_.size(); ++i) {
+                seen_[static_cast<std::size_t>(analyze_clear_[i].variable())] = 0;
+            }
+            analyze_clear_.resize(top);
+            return false;
+        }
+        clause_view c = view(reason);
+        for (std::uint32_t i = 1; i < c.size(); ++i) {
+            const lit q = c.get(i);
+            const var qv = q.variable();
+            if (seen_[static_cast<std::size_t>(qv)] || level(qv) == 0) continue;
+            if ((1u << (level(qv) & 31)) & ~abstract_levels) {
+                for (std::size_t j = top; j < analyze_clear_.size(); ++j) {
+                    seen_[static_cast<std::size_t>(analyze_clear_[j].variable())] = 0;
+                }
+                analyze_clear_.resize(top);
+                return false;
+            }
+            seen_[static_cast<std::size_t>(qv)] = 1;
+            analyze_clear_.push_back(q);
+            analyze_stack_.push_back(q);
+        }
+    }
+    return true;
+}
+
+void solver::backtrack(int target_level) {
+    if (current_level() <= target_level) return;
+    const std::size_t bound = static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(target_level)]);
+    for (std::size_t i = trail_.size(); i > bound; --i) {
+        const lit l = trail_[i - 1];
+        const var v = l.variable();
+        phase_[static_cast<std::size_t>(v)] = !l.negated();
+        assign_[static_cast<std::size_t>(v)] = lbool::undef;
+        reason_[static_cast<std::size_t>(v)] = kNoReason;
+        if (!heap_contains(v)) heap_insert(v);
+    }
+    trail_.resize(bound);
+    trail_lim_.resize(static_cast<std::size_t>(target_level));
+    qhead_ = trail_.size();
+}
+
+lit solver::decide() {
+    for (;;) {
+        if (heap_.empty()) return lit{};
+        const var v = heap_pop();
+        if (assign_[static_cast<std::size_t>(v)] == lbool::undef) {
+            return lit::make(v, !phase_[static_cast<std::size_t>(v)]);
+        }
+    }
+}
+
+void solver::reduce_db() {
+    assert(current_level() == 0);
+    if (learned_.empty()) return;
+    // Keep glue clauses (lbd <= 2) and the better half by LBD.
+    std::sort(learned_.begin(), learned_.end(), [this](cref a, cref b) {
+        return view(a).lbd() < view(b).lbd();
+    });
+    std::size_t keep = learned_.size() / 2;
+    while (keep < learned_.size() && view(learned_[keep]).lbd() <= 2) ++keep;
+    stats_.deleted_clauses += learned_.size() - keep;
+    learned_.resize(keep);
+
+    // Rebuild all watch lists (safe at level 0 where no reasons point at
+    // learned clauses other than level-0 units, which keep no reason).
+    for (auto& wl : watches_) wl.clear();
+    for (const cref ref : problem_clauses_) attach(ref);
+    for (const cref ref : learned_) attach(ref);
+}
+
+status solver::solve(const std::vector<lit>& assumptions) {
+    if (!ok_) return status::unsat;
+    backtrack(0);
+    if (propagate() != kNoReason) {
+        ok_ = false;
+        return status::unsat;
+    }
+
+    std::uint64_t restart_count = 0;
+    std::uint64_t conflicts_until_restart = kRestartBase * luby(restart_count);
+    std::uint64_t conflicts_since_restart = 0;
+    std::uint64_t max_learnt = num_problem_clauses_ / 3 + 1000;
+    std::vector<lit> learnt;
+
+    for (;;) {
+        const cref conflict = propagate();
+        if (conflict != kNoReason) {
+            ++stats_.conflicts;
+            ++conflicts_since_restart;
+            if (current_level() == 0) {
+                ok_ = false;
+                return status::unsat;
+            }
+            int backtrack_level = 0;
+            std::uint32_t lbd = 0;
+            analyze(conflict, learnt, backtrack_level, lbd);
+            backtrack(backtrack_level);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], kNoReason);
+            } else {
+                const cref ref = alloc_clause(learnt, /*learned=*/true, lbd);
+                learned_.push_back(ref);
+                ++stats_.learned_clauses;
+                attach(ref);
+                enqueue(learnt[0], ref);
+            }
+            decay_var_activity();
+            var_inc_ *= 1.0;
+            if (conflict_limit_ != 0 && stats_.conflicts >= conflict_limit_) {
+                backtrack(0);
+                return status::unknown;
+            }
+            continue;
+        }
+
+        if (conflicts_since_restart >= conflicts_until_restart) {
+            ++stats_.restarts;
+            ++restart_count;
+            conflicts_since_restart = 0;
+            conflicts_until_restart = kRestartBase * luby(restart_count);
+            backtrack(0);
+            if (learned_.size() > max_learnt) {
+                reduce_db();
+                max_learnt = max_learnt + max_learnt / 10;
+            }
+            continue;
+        }
+
+        // Establish assumptions as successive decision levels.
+        if (current_level() < static_cast<int>(assumptions.size())) {
+            const lit a = assumptions[static_cast<std::size_t>(current_level())];
+            if (a.variable() < 0 || a.variable() >= num_vars()) {
+                throw std::out_of_range("sat::solve: unknown assumption variable");
+            }
+            const lbool v = value(a);
+            if (v == lbool::false_) return status::unsat;  // conflicts with assumptions
+            trail_lim_.push_back(static_cast<int>(trail_.size()));
+            if (v == lbool::undef) enqueue(a, kNoReason);
+            continue;
+        }
+
+        const lit d = decide();
+        if (d == lit{}) {
+            // Full assignment: record the model.
+            model_.assign(static_cast<std::size_t>(num_vars()), false);
+            for (int v = 0; v < num_vars(); ++v) {
+                model_[static_cast<std::size_t>(v)] =
+                    assign_[static_cast<std::size_t>(v)] == lbool::true_;
+            }
+            backtrack(0);
+            return status::sat;
+        }
+        ++stats_.decisions;
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+        enqueue(d, kNoReason);
+    }
+}
+
+bool solver::model_value(var v) const {
+    if (v < 0 || static_cast<std::size_t>(v) >= model_.size()) {
+        throw std::out_of_range("sat::model_value: no model or unknown variable");
+    }
+    return model_[static_cast<std::size_t>(v)];
+}
+
+// --- indexed max-heap on activity ----------------------------------------
+
+void solver::heap_insert(var v) {
+    heap_index_[static_cast<std::size_t>(v)] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heap_percolate_up(static_cast<int>(heap_.size()) - 1);
+}
+
+void solver::heap_percolate_up(int i) {
+    const var v = heap_[static_cast<std::size_t>(i)];
+    const double act = activity_[static_cast<std::size_t>(v)];
+    while (i > 0) {
+        const int parent = (i - 1) / 2;
+        const var pv = heap_[static_cast<std::size_t>(parent)];
+        if (activity_[static_cast<std::size_t>(pv)] >= act) break;
+        heap_[static_cast<std::size_t>(i)] = pv;
+        heap_index_[static_cast<std::size_t>(pv)] = i;
+        i = parent;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_index_[static_cast<std::size_t>(v)] = i;
+}
+
+void solver::heap_percolate_down(int i) {
+    const var v = heap_[static_cast<std::size_t>(i)];
+    const double act = activity_[static_cast<std::size_t>(v)];
+    const int n = static_cast<int>(heap_.size());
+    for (;;) {
+        int child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n &&
+            activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child + 1)])] >
+                activity_[static_cast<std::size_t>(heap_[static_cast<std::size_t>(child)])]) {
+            ++child;
+        }
+        const var cv = heap_[static_cast<std::size_t>(child)];
+        if (act >= activity_[static_cast<std::size_t>(cv)]) break;
+        heap_[static_cast<std::size_t>(i)] = cv;
+        heap_index_[static_cast<std::size_t>(cv)] = i;
+        i = child;
+    }
+    heap_[static_cast<std::size_t>(i)] = v;
+    heap_index_[static_cast<std::size_t>(v)] = i;
+}
+
+var solver::heap_pop() {
+    const var top = heap_[0];
+    heap_index_[static_cast<std::size_t>(top)] = -1;
+    const var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heap_index_[static_cast<std::size_t>(last)] = 0;
+        heap_percolate_down(0);
+    }
+    return top;
+}
+
+}  // namespace qubikos::sat

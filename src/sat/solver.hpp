@@ -1,0 +1,153 @@
+// Conflict-driven clause-learning SAT solver.
+//
+// This is the decision engine underneath the exact layout synthesizer
+// (src/exact/olsq.*), standing in for the PySAT/Z3 backends the paper's
+// optimality study uses. Feature set: two-watched-literal propagation,
+// first-UIP clause learning with recursive minimization, EVSIDS variable
+// activities on an indexed heap, phase saving, Luby restarts, and
+// LBD-based learned-clause reduction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/literal.hpp"
+
+namespace qubikos::sat {
+
+enum class status { sat, unsat, unknown };
+
+class solver {
+public:
+    solver() = default;
+
+    /// Creates a fresh variable and returns it.
+    var new_var();
+    [[nodiscard]] int num_vars() const { return static_cast<int>(assign_.size()); }
+    [[nodiscard]] std::size_t num_clauses() const { return num_problem_clauses_; }
+
+    /// Adds a clause; returns false if the formula is already trivially
+    /// unsatisfiable (empty clause after simplification).
+    bool add_clause(std::vector<lit> lits);
+    bool add_clause(lit a) { return add_clause(std::vector<lit>{a}); }
+    bool add_clause(lit a, lit b) { return add_clause(std::vector<lit>{a, b}); }
+    bool add_clause(lit a, lit b, lit c) { return add_clause(std::vector<lit>{a, b, c}); }
+
+    /// Solves the current formula. `assumptions` are decided first; an
+    /// UNSAT answer under assumptions means no model extends them.
+    status solve(const std::vector<lit>& assumptions = {});
+
+    /// Model access, valid after solve() returned sat.
+    [[nodiscard]] bool model_value(var v) const;
+    [[nodiscard]] bool model_value(lit l) const {
+        return model_value(l.variable()) != l.negated();
+    }
+
+    /// Abort knob: stop and return unknown after this many conflicts
+    /// (0 = unlimited).
+    void set_conflict_limit(std::uint64_t limit) { conflict_limit_ = limit; }
+
+    struct statistics {
+        std::uint64_t conflicts = 0;
+        std::uint64_t decisions = 0;
+        std::uint64_t propagations = 0;
+        std::uint64_t restarts = 0;
+        std::uint64_t learned_clauses = 0;
+        std::uint64_t deleted_clauses = 0;
+    };
+    [[nodiscard]] const statistics& stats() const { return stats_; }
+
+private:
+    using cref = std::uint32_t;
+    static constexpr cref kNoReason = 0xffffffffu;
+
+    // --- clause arena ----------------------------------------------------
+    // Layout per clause: [size | learned flag in bit 31] [lbd] [activity
+    // placeholder unused] lits... ; refs are offsets into arena_.
+    struct clause_view {
+        std::uint32_t* header;
+        [[nodiscard]] std::uint32_t size() const { return header[0] & 0x7fffffffu; }
+        [[nodiscard]] bool learned() const { return (header[0] >> 31) != 0; }
+        [[nodiscard]] std::uint32_t lbd() const { return header[1]; }
+        void set_lbd(std::uint32_t lbd) { header[1] = lbd; }
+        [[nodiscard]] lit get(std::uint32_t i) const {
+            return from_code(static_cast<std::int32_t>(header[2 + i]));
+        }
+        void set(std::uint32_t i, lit l) { header[2 + i] = static_cast<std::uint32_t>(l.code); }
+    };
+
+    clause_view view(cref ref) { return clause_view{arena_.data() + ref}; }
+    cref alloc_clause(const std::vector<lit>& lits, bool learned, std::uint32_t lbd);
+
+    struct watcher {
+        cref ref;
+        lit blocker;
+    };
+
+    // --- core loop --------------------------------------------------------
+    void attach(cref ref);
+    cref propagate();
+    void analyze(cref conflict, std::vector<lit>& learnt, int& backtrack_level,
+                 std::uint32_t& lbd);
+    bool literal_redundant(lit l, std::uint32_t abstract_levels);
+    void backtrack(int level);
+    void enqueue(lit l, cref reason);
+    lit decide();
+    void reduce_db();
+    void restart();
+
+    [[nodiscard]] lbool value(lit l) const {
+        const lbool v = assign_[static_cast<std::size_t>(l.variable())];
+        if (v == lbool::undef) return lbool::undef;
+        return l.negated() ? !v : v;
+    }
+    [[nodiscard]] int level(var v) const { return level_[static_cast<std::size_t>(v)]; }
+    [[nodiscard]] int current_level() const { return static_cast<int>(trail_lim_.size()); }
+
+    // --- activity heap ----------------------------------------------------
+    void bump_var(var v);
+    void decay_var_activity() { var_inc_ /= kVarDecay; }
+    void heap_insert(var v);
+    void heap_percolate_up(int i);
+    void heap_percolate_down(int i);
+    var heap_pop();
+    [[nodiscard]] bool heap_contains(var v) const {
+        return heap_index_[static_cast<std::size_t>(v)] != -1;
+    }
+
+    static constexpr double kVarDecay = 0.95;
+    static constexpr double kRescaleThreshold = 1e100;
+
+    // state
+    std::vector<std::uint32_t> arena_;
+    std::vector<cref> problem_clauses_;
+    std::vector<cref> learned_;
+    std::size_t num_problem_clauses_ = 0;
+
+    std::vector<std::vector<watcher>> watches_;  // indexed by lit.index()
+    std::vector<lbool> assign_;
+    std::vector<bool> phase_;       // saved polarity
+    std::vector<int> level_;
+    std::vector<cref> reason_;
+    std::vector<lit> trail_;
+    std::vector<int> trail_lim_;
+    std::size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double var_inc_ = 1.0;
+    std::vector<var> heap_;
+    std::vector<int> heap_index_;
+
+    std::vector<bool> model_;
+    bool ok_ = true;  // false once an empty clause was derived
+
+    // scratch buffers for analyze()
+    std::vector<char> seen_;
+    std::vector<lit> analyze_stack_;
+    std::vector<lit> analyze_clear_;
+
+    std::uint64_t conflict_limit_ = 0;
+    statistics stats_;
+};
+
+}  // namespace qubikos::sat

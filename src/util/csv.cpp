@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace qubikos::csv {
+
+writer::writer(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("csv: empty header");
+}
+
+void writer::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size()) {
+        throw std::invalid_argument("csv: row width " + std::to_string(row.size()) +
+                                    " != header width " + std::to_string(header_.size()));
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string writer::format(double d) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", d);
+    return buf;
+}
+
+std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (const char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string writer::str() const {
+    std::string out;
+    const auto append_row = [&out](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0) out += ',';
+            out += escape(row[i]);
+        }
+        out += '\n';
+    };
+    append_row(header_);
+    for (const auto& row : rows_) append_row(row);
+    return out;
+}
+
+void writer::save(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("csv: cannot open " + path);
+    file << str();
+}
+
+}  // namespace qubikos::csv

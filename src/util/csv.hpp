@@ -1,0 +1,46 @@
+// CSV emission for the evaluation harness.
+//
+// Every bench writes its raw measurements as CSV next to the printed table
+// so results can be re-plotted without re-running the sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qubikos::csv {
+
+/// Rectangular CSV document: one header row plus data rows.
+class writer {
+public:
+    explicit writer(std::vector<std::string> header);
+
+    /// Appends a row; throws std::invalid_argument on width mismatch.
+    void add_row(std::vector<std::string> row);
+
+    /// Convenience: formats arithmetic values with to_string.
+    template <typename... Ts>
+    void add(const Ts&... cells) {
+        add_row({format(cells)...});
+    }
+
+    [[nodiscard]] std::string str() const;
+    void save(const std::string& path) const;
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+private:
+    static std::string format(const std::string& s) { return s; }
+    static std::string format(const char* s) { return s; }
+    static std::string format(double d);
+    static std::string format(int i) { return std::to_string(i); }
+    static std::string format(long i) { return std::to_string(i); }
+    static std::string format(long long i) { return std::to_string(i); }
+    static std::string format(std::size_t i) { return std::to_string(i); }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a cell per RFC 4180 when it contains separators/quotes/newlines.
+[[nodiscard]] std::string escape(const std::string& cell);
+
+}  // namespace qubikos::csv

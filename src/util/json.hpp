@@ -1,0 +1,96 @@
+// Minimal JSON value model, writer and parser.
+//
+// Used to serialize benchmark-suite metadata (optimal swap counts, initial
+// mappings, generator parameters) next to the QASM files, and to read it
+// back in the evaluation harness. Covers the JSON subset the suite format
+// needs: null, bool, number, string, array, object; no comments, no
+// non-finite numbers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qubikos::json {
+
+class value;
+using array = std::vector<value>;
+/// std::map keeps key order deterministic, which keeps emitted files diffable.
+using object = std::map<std::string, value>;
+
+enum class kind { null, boolean, number, string, array, object };
+
+/// Error thrown by the parser and by mistyped accessors.
+class error : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class value {
+public:
+    value() : kind_(kind::null) {}
+    value(std::nullptr_t) : kind_(kind::null) {}
+    value(bool b) : kind_(kind::boolean), bool_(b) {}
+    value(double d) : kind_(kind::number), num_(d) {}
+    value(int i) : kind_(kind::number), num_(i) {}
+    value(std::int64_t i) : kind_(kind::number), num_(static_cast<double>(i)) {}
+    value(std::size_t i) : kind_(kind::number), num_(static_cast<double>(i)) {}
+    value(const char* s) : kind_(kind::string), str_(s) {}
+    value(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+    value(array a) : kind_(kind::array), arr_(std::make_shared<array>(std::move(a))) {}
+    value(object o) : kind_(kind::object), obj_(std::make_shared<object>(std::move(o))) {}
+
+    [[nodiscard]] kind type() const { return kind_; }
+    [[nodiscard]] bool is_null() const { return kind_ == kind::null; }
+
+    [[nodiscard]] bool as_bool() const {
+        require(kind::boolean);
+        return bool_;
+    }
+    [[nodiscard]] double as_number() const {
+        require(kind::number);
+        return num_;
+    }
+    [[nodiscard]] int as_int() const { return static_cast<int>(as_number()); }
+    [[nodiscard]] const std::string& as_string() const {
+        require(kind::string);
+        return str_;
+    }
+    [[nodiscard]] const array& as_array() const {
+        require(kind::array);
+        return *arr_;
+    }
+    [[nodiscard]] const object& as_object() const {
+        require(kind::object);
+        return *obj_;
+    }
+
+    /// Object member access; throws if missing or not an object.
+    [[nodiscard]] const value& at(const std::string& key) const;
+    /// True when this is an object containing key.
+    [[nodiscard]] bool contains(const std::string& key) const;
+
+    /// Serialize. indent < 0 emits compact one-line JSON.
+    [[nodiscard]] std::string dump(int indent = -1) const;
+
+private:
+    void require(kind k) const {
+        if (kind_ != k) throw error("json: wrong type access");
+    }
+    void write(std::string& out, int indent, int depth) const;
+
+    kind kind_;
+    bool bool_ = false;
+    double num_ = 0;
+    std::string str_;
+    std::shared_ptr<array> arr_;
+    std::shared_ptr<object> obj_;
+};
+
+/// Parse a complete JSON document; trailing garbage is an error.
+[[nodiscard]] value parse(const std::string& text);
+
+}  // namespace qubikos::json

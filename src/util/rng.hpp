@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (benchmark generation, router
+// trials, placement annealing) draw from this engine so that a (seed,
+// parameters) pair reproduces a benchmark bit-for-bit across platforms.
+// std::mt19937 + std::uniform_int_distribution are avoided because the
+// distribution implementations differ between standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace qubikos {
+
+/// xoshiro256** engine seeded via splitmix64. Satisfies
+/// UniformRandomBitGenerator.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // splitmix64 stream expands one word of seed into the full state.
+        for (auto& word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    result_type operator()() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound must be positive.
+    std::uint64_t below(std::uint64_t bound) {
+        if (bound == 0) throw std::invalid_argument("rng::below: bound == 0");
+        // Debiased modulo (Lemire-style rejection).
+        const std::uint64_t threshold = (~bound + 1) % bound;
+        for (;;) {
+            const std::uint64_t r = (*this)();
+            if (r >= threshold) return r % bound;
+        }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    int range(int lo, int hi) {
+        if (lo > hi) throw std::invalid_argument("rng::range: lo > hi");
+        return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>((*this)() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    bool chance(double p) { return uniform() < p; }
+
+    /// Uniformly chosen element of a non-empty vector.
+    template <typename T>
+    const T& pick(const std::vector<T>& items) {
+        if (items.empty()) throw std::invalid_argument("rng::pick: empty");
+        return items[below(items.size())];
+    }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items) {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            std::swap(items[i - 1], items[below(i)]);
+        }
+    }
+
+    /// Random permutation of 0..n-1.
+    std::vector<int> permutation(int n) {
+        std::vector<int> p(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+        shuffle(p);
+        return p;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+}  // namespace qubikos

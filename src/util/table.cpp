@@ -1,0 +1,54 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qubikos {
+
+ascii_table::ascii_table(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("table: empty header");
+}
+
+void ascii_table::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size()) {
+        throw std::invalid_argument("table: row width mismatch");
+    }
+    rows_.push_back(std::move(row));
+}
+
+std::string ascii_table::num(double v, int precision) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+}
+
+std::string ascii_table::str() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+    for (const auto& row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            widths[i] = std::max(widths[i], row[i].size());
+        }
+    }
+
+    std::string out;
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += "| ";
+            out += row[i];
+            out.append(widths[i] - row[i].size() + 1, ' ');
+        }
+        out += "|\n";
+    };
+    emit_row(header_);
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+        out += "|";
+        out.append(widths[i] + 2, '-');
+    }
+    out += "|\n";
+    for (const auto& row : rows_) emit_row(row);
+    return out;
+}
+
+}  // namespace qubikos

@@ -1,0 +1,43 @@
+// Aligned ASCII table printing for bench output.
+//
+// The figure/table benches print paper-style tables; this keeps the
+// formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qubikos {
+
+/// Collects rows of cells and renders them with padded columns.
+class ascii_table {
+public:
+    explicit ascii_table(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> row);
+
+    template <typename... Ts>
+    void add(const Ts&... cells) {
+        add_row({cell(cells)...});
+    }
+
+    /// Renders the table with a header separator line.
+    [[nodiscard]] std::string str() const;
+
+    /// Formats a double with the given precision (helper for callers).
+    [[nodiscard]] static std::string num(double v, int precision = 2);
+
+private:
+    static std::string cell(const std::string& s) { return s; }
+    static std::string cell(const char* s) { return s; }
+    static std::string cell(double d) { return num(d); }
+    static std::string cell(int i) { return std::to_string(i); }
+    static std::string cell(long i) { return std::to_string(i); }
+    static std::string cell(long long i) { return std::to_string(i); }
+    static std::string cell(std::size_t i) { return std::to_string(i); }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qubikos

@@ -1,0 +1,138 @@
+// Cardinality-encoding correctness: for every (n, k) in range, the
+// encoding must accept exactly the assignments with the right popcount.
+// Checked by enumerating all assignments with assumption solving.
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/encodings.hpp"
+#include "sat/solver.hpp"
+
+namespace qubikos::sat {
+namespace {
+
+/// Builds n fresh variables in a fresh solver.
+std::vector<var> make_vars(solver& s, int n) {
+    std::vector<var> out;
+    for (int i = 0; i < n; ++i) out.push_back(s.new_var());
+    return out;
+}
+
+std::vector<lit> positive(const std::vector<var>& vars) {
+    std::vector<lit> out;
+    for (const var v : vars) out.push_back(pos(v));
+    return out;
+}
+
+/// Checks, for every full assignment over `vars`, whether the solver
+/// accepts it under assumptions — compared against `predicate(popcount)`.
+template <typename Predicate>
+void check_exactly(solver& s, const std::vector<var>& vars, Predicate predicate) {
+    const int n = static_cast<int>(vars.size());
+    for (unsigned bits = 0; bits < (1u << n); ++bits) {
+        std::vector<lit> assumptions;
+        int popcount = 0;
+        for (int i = 0; i < n; ++i) {
+            const bool on = ((bits >> i) & 1) != 0;
+            popcount += on ? 1 : 0;
+            assumptions.push_back(lit::make(vars[static_cast<std::size_t>(i)], !on));
+        }
+        const bool accepted = s.solve(assumptions) == status::sat;
+        EXPECT_EQ(accepted, predicate(popcount))
+            << "bits=" << bits << " popcount=" << popcount;
+    }
+}
+
+class amo_sizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(amo_sizes, at_most_one) {
+    const int n = GetParam();
+    solver s;
+    const auto vars = make_vars(s, n);
+    at_most_one(s, positive(vars));
+    check_exactly(s, vars, [](int count) { return count <= 1; });
+}
+
+TEST_P(amo_sizes, exactly_one) {
+    const int n = GetParam();
+    solver s;
+    const auto vars = make_vars(s, n);
+    exactly_one(s, positive(vars));
+    check_exactly(s, vars, [](int count) { return count == 1; });
+}
+
+// Covers both the pairwise (<=6) and sequential (>6) encodings.
+INSTANTIATE_TEST_SUITE_P(sizes, amo_sizes, ::testing::Values(1, 2, 3, 5, 6, 7, 9, 12));
+
+struct card_case {
+    int n;
+    int k;
+};
+
+class card_sizes : public ::testing::TestWithParam<card_case> {};
+
+TEST_P(card_sizes, at_most_k) {
+    const auto [n, k] = GetParam();
+    solver s;
+    const auto vars = make_vars(s, n);
+    at_most_k(s, positive(vars), k);
+    check_exactly(s, vars, [k = k](int count) { return count <= k; });
+}
+
+TEST_P(card_sizes, at_least_k) {
+    const auto [n, k] = GetParam();
+    solver s;
+    const auto vars = make_vars(s, n);
+    at_least_k(s, positive(vars), k);
+    check_exactly(s, vars, [k = k](int count) { return count >= k; });
+}
+
+INSTANTIATE_TEST_SUITE_P(sizes, card_sizes,
+                         ::testing::Values(card_case{4, 0}, card_case{4, 1}, card_case{4, 2},
+                                           card_case{4, 4}, card_case{6, 3}, card_case{7, 2},
+                                           card_case{8, 5}, card_case{9, 1}));
+
+TEST(encodings, argument_validation) {
+    solver s;
+    const auto vars = make_vars(s, 3);
+    EXPECT_THROW(at_least_one(s, {}), std::invalid_argument);
+    EXPECT_THROW(at_most_k(s, positive(vars), -1), std::invalid_argument);
+    EXPECT_THROW(at_least_k(s, positive(vars), 4), std::invalid_argument);
+    at_most_one(s, {});                 // no-op
+    at_most_one(s, {pos(vars[0])});     // no-op
+    at_least_k(s, positive(vars), 0);   // no-op
+    EXPECT_EQ(s.solve(), status::sat);
+}
+
+TEST(dimacs, round_trip) {
+    formula f(3);
+    f.add_clause({pos(0), neg(1)});
+    f.add_clause({pos(2)});
+    const formula back = formula::from_dimacs(f.to_dimacs());
+    EXPECT_EQ(back.num_vars(), 3);
+    ASSERT_EQ(back.clauses().size(), 2u);
+    EXPECT_EQ(back.clauses()[0][0], pos(0));
+    EXPECT_EQ(back.clauses()[0][1], neg(1));
+}
+
+TEST(dimacs, parses_comments_and_rejects_garbage) {
+    const formula f = formula::from_dimacs("c header comment\np cnf 2 1\n1 -2 0\n");
+    EXPECT_EQ(f.num_vars(), 2);
+    EXPECT_EQ(f.clauses().size(), 1u);
+    EXPECT_THROW(formula::from_dimacs("p cnf 2 1\n1 -2"), std::runtime_error);
+    EXPECT_THROW(formula::from_dimacs("p cnf 2 1\nxyz 0"), std::runtime_error);
+    EXPECT_THROW(formula::from_dimacs("p dnf 2 1\n1 0"), std::runtime_error);
+}
+
+TEST(dimacs, formula_validation) {
+    formula f(2);
+    EXPECT_THROW(f.add_clause({pos(5)}), std::out_of_range);
+    EXPECT_THROW((void)f.satisfied_by({true}), std::invalid_argument);
+    formula big(30);
+    EXPECT_THROW((void)big.brute_force_satisfiable(), std::invalid_argument);
+    solver s;
+    s.new_var();
+    EXPECT_THROW(f.load_into(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qubikos::sat

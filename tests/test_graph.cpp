@@ -1,0 +1,207 @@
+// Tests for the graph substrate: core graph type, BFS orders, distances,
+// connectivity utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distance.hpp"
+#include "graph/gen.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace qubikos {
+namespace {
+
+TEST(graph, edges_and_degrees) {
+    graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    EXPECT_EQ(g.num_vertices(), 4);
+    EXPECT_EQ(g.num_edges(), 2);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(0, 2));
+    EXPECT_FALSE(g.has_edge(0, 0));
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(3), 0);
+    EXPECT_EQ(g.max_degree(), 2);
+}
+
+TEST(graph, rejects_bad_edges) {
+    graph g(3);
+    g.add_edge(0, 1);
+    EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);   // duplicate
+    EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);   // reversed duplicate
+    EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);   // self loop
+    EXPECT_THROW(g.add_edge(0, 3), std::out_of_range);       // out of range
+    EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+    EXPECT_FALSE(g.add_edge_if_absent(0, 1));
+    EXPECT_TRUE(g.add_edge_if_absent(1, 2));
+}
+
+TEST(graph, count_degree_at_least) {
+    const graph g = star_graph(5);  // center degree 5, leaves degree 1
+    EXPECT_EQ(g.count_degree_at_least(5), 1);
+    EXPECT_EQ(g.count_degree_at_least(2), 1);
+    EXPECT_EQ(g.count_degree_at_least(1), 6);
+    EXPECT_EQ(g.count_degree_at_least(0), 6);
+}
+
+TEST(graph, edge_normalization) {
+    const edge e(3, 1);
+    EXPECT_EQ(e.a, 1);
+    EXPECT_EQ(e.b, 3);
+    EXPECT_EQ(e, edge(1, 3));
+}
+
+TEST(bfs, vertex_order_from_source) {
+    const graph g = path_graph(5);
+    const auto order = bfs_vertices(g, {2});
+    EXPECT_EQ(order.size(), 5u);
+    EXPECT_EQ(order.front(), 2);
+    // Distance-1 vertices come before distance-2 vertices.
+    const auto position = [&order](int v) {
+        return std::find(order.begin(), order.end(), v) - order.begin();
+    };
+    EXPECT_LT(position(1), position(0));
+    EXPECT_LT(position(3), position(4));
+}
+
+TEST(bfs, edge_order_covers_component_and_chains) {
+    rng random(5);
+    for (int trial = 0; trial < 30; ++trial) {
+        const graph g = random_connected_graph(random.range(2, 12), random.range(0, 8), random);
+        const int source = random.range(0, g.num_vertices() - 1);
+        const auto order = bfs_edge_order(g, {source});
+        ASSERT_EQ(order.size(), static_cast<std::size_t>(g.num_edges()));
+        // Property used by Algorithm 2: every emitted edge shares an
+        // endpoint with an earlier edge or contains the source.
+        std::set<int> touched{source};
+        for (const auto& e : order) {
+            EXPECT_TRUE(touched.count(e.a) || touched.count(e.b))
+                << "edge (" << e.a << "," << e.b << ") disconnected from prefix";
+            touched.insert(e.a);
+            touched.insert(e.b);
+        }
+    }
+}
+
+TEST(bfs, distances_and_unreachable) {
+    graph g(5);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    const auto dist = bfs_distances(g, {0});
+    EXPECT_EQ(dist[0], 0);
+    EXPECT_EQ(dist[1], 1);
+    EXPECT_EQ(dist[2], 2);
+    EXPECT_EQ(dist[3], -1);
+    EXPECT_THROW(bfs_distances(g, {}), std::invalid_argument);
+    EXPECT_THROW(bfs_distances(g, {9}), std::out_of_range);
+}
+
+TEST(bfs, shortest_path_endpoints) {
+    const graph g = grid_graph(3, 3);
+    const auto path = shortest_path(g, 0, 8);
+    ASSERT_EQ(path.size(), 5u);  // manhattan distance 4
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 8);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+
+    graph disconnected(4);
+    disconnected.add_edge(0, 1);
+    EXPECT_TRUE(shortest_path(disconnected, 0, 3).empty());
+}
+
+TEST(distance_matrix, matches_bfs) {
+    rng random(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        const graph g = random_connected_graph(random.range(2, 15), random.range(0, 10), random);
+        const distance_matrix dist(g);
+        for (int v = 0; v < g.num_vertices(); ++v) {
+            const auto row = bfs_distances(g, {v});
+            for (int u = 0; u < g.num_vertices(); ++u) {
+                EXPECT_EQ(dist(v, u), row[static_cast<std::size_t>(u)]);
+            }
+        }
+    }
+}
+
+TEST(distance_matrix, diameter_of_known_graphs) {
+    EXPECT_EQ(distance_matrix(path_graph(6)).diameter(), 5);
+    EXPECT_EQ(distance_matrix(cycle_graph(6)).diameter(), 3);
+    EXPECT_EQ(distance_matrix(grid_graph(3, 4)).diameter(), 5);
+    EXPECT_EQ(distance_matrix(complete_graph(5)).diameter(), 1);
+}
+
+TEST(connectivity, components) {
+    graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    g.add_edge(3, 4);
+    const auto labels = connected_components(g);
+    EXPECT_EQ(labels[0], labels[1]);
+    EXPECT_EQ(labels[2], labels[3]);
+    EXPECT_EQ(labels[3], labels[4]);
+    EXPECT_NE(labels[0], labels[2]);
+    EXPECT_NE(labels[5], labels[0]);
+    EXPECT_NE(labels[5], labels[2]);
+    EXPECT_FALSE(is_connected(g));
+    EXPECT_TRUE(is_connected(path_graph(4)));
+    EXPECT_TRUE(is_connected(graph(1)));
+    EXPECT_TRUE(is_connected(graph(0)));
+}
+
+TEST(connectivity, connect_components_properties) {
+    rng random(23);
+    for (int trial = 0; trial < 40; ++trial) {
+        const graph allowed = random_connected_graph(random.range(4, 14), random.range(2, 10), random);
+        // Random existing edge set drawn from allowed edges.
+        std::vector<edge> existing;
+        std::vector<int> terminals;
+        for (const auto& e : allowed.edges()) {
+            if (random.chance(0.3)) existing.push_back(e);
+        }
+        for (int v = 0; v < allowed.num_vertices(); ++v) {
+            if (random.chance(0.4)) terminals.push_back(v);
+        }
+        if (terminals.empty()) terminals.push_back(0);
+
+        const auto patch = connect_components(allowed, existing, terminals);
+        // Every patch edge must be an allowed edge.
+        for (const auto& e : patch) EXPECT_TRUE(allowed.has_edge(e.a, e.b));
+        // existing + patch must connect all terminals.
+        graph combined(allowed.num_vertices());
+        for (const auto& e : existing) combined.add_edge_if_absent(e.a, e.b);
+        for (const auto& e : patch) combined.add_edge_if_absent(e.a, e.b);
+        const auto labels = connected_components(combined);
+        for (const int t : terminals) {
+            EXPECT_EQ(labels[static_cast<std::size_t>(t)],
+                      labels[static_cast<std::size_t>(terminals.front())]);
+        }
+    }
+}
+
+TEST(connectivity, connect_components_impossible) {
+    graph allowed(4);
+    allowed.add_edge(0, 1);
+    allowed.add_edge(2, 3);
+    EXPECT_THROW(connect_components(allowed, {}, {0, 3}), std::runtime_error);
+}
+
+TEST(gen, random_connected_graph_is_connected) {
+    rng random(31);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = random.range(1, 20);
+        const graph g = random_connected_graph(n, random.range(0, 10), random);
+        EXPECT_EQ(g.num_vertices(), n);
+        EXPECT_TRUE(is_connected(g));
+        EXPECT_GE(g.num_edges(), n - 1);
+    }
+}
+
+}  // namespace
+}  // namespace qubikos

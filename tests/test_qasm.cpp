@@ -1,0 +1,132 @@
+// Tests for the OpenQASM 2 subset reader/writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "circuit/qasm.hpp"
+#include "util/rng.hpp"
+
+namespace qubikos {
+namespace {
+
+circuit sample_circuit() {
+    circuit c(4);
+    c.append(gate::h(0));
+    c.append(gate::cx(0, 1));
+    c.append(gate::rz(2, 1.25));
+    c.append(gate::swap_gate(1, 3));
+    c.append(gate::cz(2, 3));
+    c.append(gate::single(gate_kind::tdg, 1));
+    return c;
+}
+
+TEST(qasm, write_contains_expected_statements) {
+    const std::string text = qasm::write(sample_circuit());
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[4];"), std::string::npos);
+    EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(text.find("rz(1.25) q[2];"), std::string::npos);
+    EXPECT_NE(text.find("swap q[1],q[3];"), std::string::npos);
+}
+
+TEST(qasm, round_trip_preserves_gates) {
+    const circuit original = sample_circuit();
+    const circuit parsed = qasm::parse(qasm::write(original));
+    ASSERT_EQ(parsed.size(), original.size());
+    EXPECT_EQ(parsed.num_qubits(), original.num_qubits());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(parsed[i].kind, original[i].kind);
+        EXPECT_EQ(parsed[i].q0, original[i].q0);
+        EXPECT_EQ(parsed[i].q1, original[i].q1);
+        EXPECT_NEAR(parsed[i].angle, original[i].angle, 1e-12);
+    }
+}
+
+TEST(qasm, random_round_trips) {
+    rng random(5);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int n = random.range(2, 20);
+        circuit c(n);
+        for (int i = 0; i < 50; ++i) {
+            if (random.chance(0.5)) {
+                int a = random.range(0, n - 1), b = random.range(0, n - 1);
+                if (a == b) continue;
+                c.append(random.chance(0.2) ? gate::swap_gate(a, b) : gate::cx(a, b));
+            } else {
+                c.append(gate::rz(random.range(0, n - 1), random.uniform() * 6.28));
+            }
+        }
+        const circuit back = qasm::parse(qasm::write(c));
+        ASSERT_EQ(back.size(), c.size());
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            EXPECT_EQ(back[i].kind, c[i].kind);
+            EXPECT_NEAR(back[i].angle, c[i].angle, 1e-9);
+        }
+    }
+}
+
+TEST(qasm, parses_pi_expressions) {
+    const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(pi) q[0];
+rz(pi/2) q[0];
+rz(-pi/4) q[1];
+rz(3*pi/2) q[1];
+rz(0.5) q[0];
+)";
+    const circuit c = qasm::parse(text);
+    constexpr double kPi = 3.14159265358979323846;
+    EXPECT_NEAR(c[0].angle, kPi, 1e-12);
+    EXPECT_NEAR(c[1].angle, kPi / 2, 1e-12);
+    EXPECT_NEAR(c[2].angle, -kPi / 4, 1e-12);
+    EXPECT_NEAR(c[3].angle, 3 * kPi / 2, 1e-12);
+    EXPECT_NEAR(c[4].angle, 0.5, 1e-12);
+}
+
+TEST(qasm, ignores_barrier_measure_creg_and_comments) {
+    const std::string text = R"(OPENQASM 2.0;
+// a benchmark
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0]; // comment after statement
+barrier q[0],q[1];
+cx q[0],q[1];
+measure q[0] -> c[0];
+)";
+    const circuit c = qasm::parse(text);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[0].kind, gate_kind::h);
+    EXPECT_EQ(c[1].kind, gate_kind::cx);
+}
+
+TEST(qasm, statements_spanning_lines) {
+    const std::string text = "OPENQASM 2.0;\nqreg q[2];\ncx\n q[0],\n q[1];\n";
+    const circuit c = qasm::parse(text);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(qasm, parse_errors) {
+    EXPECT_THROW(qasm::parse(""), std::runtime_error);
+    EXPECT_THROW(qasm::parse("qreg q[2];\ncx q[0],q[1];"), std::runtime_error);  // no header
+    EXPECT_THROW(qasm::parse("OPENQASM 2.0;\ncx q[0],q[1];"), std::runtime_error);  // no qreg
+    EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[2];\nccx q[0],q[1];"), std::runtime_error);
+    EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[2];\ncx q[0];"), std::runtime_error);
+    EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[2];\nh q[9];"), std::runtime_error);
+    EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[2];\nh q[0]"), std::runtime_error);  // no ;
+    EXPECT_THROW(qasm::parse("OPENQASM 2.0;\nqreg q[2];\nqreg r[2];"), std::runtime_error);
+}
+
+TEST(qasm, file_round_trip) {
+    const auto path = std::filesystem::temp_directory_path() / "qubikos_qasm_test.qasm";
+    qasm::save(sample_circuit(), path.string());
+    const circuit loaded = qasm::load(path.string());
+    EXPECT_EQ(loaded.size(), sample_circuit().size());
+    std::filesystem::remove(path);
+    EXPECT_THROW(qasm::load("/nonexistent/nope.qasm"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qubikos

@@ -1,0 +1,63 @@
+// QUEKNO-style generator tests, including the paper's core claim: QUEKNO
+// construction costs are only upper bounds — the exact solver can beat
+// them — whereas QUBIKOS counts are exact.
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "core/quekno.hpp"
+#include "exact/brute.hpp"
+
+namespace qubikos {
+namespace {
+
+TEST(quekno, construction_is_a_valid_routing) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto device = arch::grid(3, 3);
+        core::quekno_options options;
+        options.num_transitions = 4;
+        options.gates_per_epoch = 10;
+        options.seed = seed;
+        const auto instance = core::generate_quekno(device, options);
+        const auto report =
+            validate_routed(instance.logical, instance.construction, device.coupling);
+        ASSERT_TRUE(report.valid) << report.error;
+        EXPECT_EQ(report.swap_count, 4u);
+        EXPECT_EQ(instance.logical.num_two_qubit_gates(), 50u);
+    }
+}
+
+TEST(quekno, construction_cost_is_only_an_upper_bound) {
+    // The defining weakness (Sec. I of the paper): across seeds, the
+    // exact optimum is sometimes strictly below the construction cost.
+    // On QUBIKOS that can never happen (see test_generator.cpp).
+    const auto device = arch::line(5);
+    int strictly_better = 0;
+    int total = 0;
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        core::quekno_options options;
+        options.num_transitions = 3;
+        options.gates_per_epoch = 4;
+        options.seed = seed;
+        const auto instance = core::generate_quekno(device, options);
+        const auto brute =
+            exact::brute_force_optimal_swaps(instance.logical, device.coupling, {.max_swaps = 8});
+        ASSERT_TRUE(brute.solved);
+        EXPECT_LE(brute.optimal_swaps, instance.construction_swaps);
+        if (brute.optimal_swaps < instance.construction_swaps) ++strictly_better;
+        ++total;
+    }
+    EXPECT_GT(strictly_better, 0)
+        << "expected at least one instance where the construction cost is not optimal ("
+        << total << " tried)";
+}
+
+TEST(quekno, argument_validation) {
+    EXPECT_THROW((void)core::generate_quekno(arch::line(3), {.num_transitions = -1}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        (void)core::generate_quekno(arch::line(3), {.num_transitions = 1, .gates_per_epoch = 0}),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qubikos

@@ -1,0 +1,156 @@
+// Tests for the routed-circuit validator: it must accept correct routings
+// and reject every corruption mode (non-adjacent gates, dropped /
+// duplicated / reordered gates, wrong kinds, bad mappings).
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "circuit/routed.hpp"
+
+namespace qubikos {
+namespace {
+
+/// Logical: cx(0,1), cx(1,2), h(0) on a 3-qubit line; identity mapping.
+circuit line_logical() {
+    circuit c(3);
+    c.append(gate::cx(0, 1));
+    c.append(gate::cx(1, 2));
+    c.append(gate::h(0));
+    return c;
+}
+
+routed_circuit straight_routing() {
+    routed_circuit r;
+    r.initial = mapping::identity(3, 3);
+    circuit phys(3);
+    phys.append(gate::cx(0, 1));
+    phys.append(gate::cx(1, 2));
+    phys.append(gate::h(0));
+    r.physical = std::move(phys);
+    return r;
+}
+
+TEST(validate_routed, accepts_straight_routing) {
+    const auto report =
+        validate_routed(line_logical(), straight_routing(), arch::line(3).coupling);
+    EXPECT_TRUE(report.valid) << report.error;
+    EXPECT_EQ(report.swap_count, 0u);
+}
+
+TEST(validate_routed, accepts_swapped_routing) {
+    // Map q0->p0, q1->p1, q2->p2 on a line but execute cx(q0,q2) via swap.
+    circuit logical(3);
+    logical.append(gate::cx(0, 2));
+
+    routed_circuit r;
+    r.initial = mapping::identity(3, 3);
+    circuit phys(3);
+    phys.append(gate::swap_gate(1, 2));  // q2 now on p1
+    phys.append(gate::cx(0, 1));         // q0 x q2: adjacent
+    r.physical = std::move(phys);
+
+    const auto report = validate_routed(logical, r, arch::line(3).coupling);
+    EXPECT_TRUE(report.valid) << report.error;
+    EXPECT_EQ(report.swap_count, 1u);
+}
+
+TEST(validate_routed, rejects_non_adjacent_gate) {
+    routed_circuit r;
+    r.initial = mapping::identity(3, 3);
+    circuit phys(3);
+    phys.append(gate::cx(0, 2));  // p0 and p2 not adjacent on a line
+    r.physical = std::move(phys);
+    circuit logical(3);
+    logical.append(gate::cx(0, 2));
+    const auto report = validate_routed(logical, r, arch::line(3).coupling);
+    EXPECT_FALSE(report.valid);
+    EXPECT_NE(report.error.find("non-adjacent"), std::string::npos);
+}
+
+TEST(validate_routed, rejects_non_adjacent_swap) {
+    routed_circuit r;
+    r.initial = mapping::identity(3, 3);
+    circuit phys(3);
+    phys.append(gate::swap_gate(0, 2));
+    r.physical = std::move(phys);
+    const auto report = validate_routed(circuit(3), r, arch::line(3).coupling);
+    EXPECT_FALSE(report.valid);
+}
+
+TEST(validate_routed, rejects_dropped_gate) {
+    auto r = straight_routing();
+    circuit phys(3);
+    phys.append(gate::cx(0, 1));  // second cx and h missing
+    r.physical = std::move(phys);
+    const auto report = validate_routed(line_logical(), r, arch::line(3).coupling);
+    EXPECT_FALSE(report.valid);
+}
+
+TEST(validate_routed, rejects_duplicated_gate) {
+    auto r = straight_routing();
+    r.physical.append(gate::cx(0, 1));  // extra execution
+    const auto report = validate_routed(line_logical(), r, arch::line(3).coupling);
+    EXPECT_FALSE(report.valid);
+}
+
+TEST(validate_routed, rejects_reordered_dependent_gates) {
+    routed_circuit r;
+    r.initial = mapping::identity(3, 3);
+    circuit phys(3);
+    phys.append(gate::cx(1, 2));  // out of order: logical expects cx(0,1) first on q1
+    phys.append(gate::cx(0, 1));
+    phys.append(gate::h(0));
+    r.physical = std::move(phys);
+    const auto report = validate_routed(line_logical(), r, arch::line(3).coupling);
+    EXPECT_FALSE(report.valid);
+}
+
+TEST(validate_routed, rejects_wrong_kind_or_angle) {
+    auto r = straight_routing();
+    circuit phys(3);
+    phys.append(gate::cz(0, 1));  // kind mismatch
+    phys.append(gate::cx(1, 2));
+    phys.append(gate::h(0));
+    r.physical = std::move(phys);
+    EXPECT_FALSE(validate_routed(line_logical(), r, arch::line(3).coupling).valid);
+
+    circuit logical(2);
+    logical.append(gate::rz(0, 0.5));
+    routed_circuit rr;
+    rr.initial = mapping::identity(2, 2);
+    circuit phys2(2);
+    phys2.append(gate::rz(0, 0.75));  // angle mismatch
+    rr.physical = std::move(phys2);
+    EXPECT_FALSE(validate_routed(logical, rr, arch::line(2).coupling).valid);
+}
+
+TEST(validate_routed, rejects_size_mismatches) {
+    auto r = straight_routing();
+    EXPECT_FALSE(validate_routed(circuit(4), r, arch::line(3).coupling).valid);
+    EXPECT_FALSE(validate_routed(line_logical(), r, arch::line(4).coupling).valid);
+}
+
+TEST(validate_routed, single_qubit_gates_follow_program_qubit) {
+    // h on q0 must follow q0 even after swaps move it.
+    circuit logical(2);
+    logical.append(gate::cx(0, 1));
+    logical.append(gate::h(0));
+
+    routed_circuit r;
+    r.initial = mapping::identity(2, 2);
+    circuit phys(2);
+    phys.append(gate::cx(0, 1));
+    phys.append(gate::swap_gate(0, 1));  // q0 now on p1
+    phys.append(gate::h(1));             // correct location
+    r.physical = std::move(phys);
+    EXPECT_TRUE(validate_routed(logical, r, arch::line(2).coupling).valid);
+
+    circuit wrong(2);
+    wrong.append(gate::cx(0, 1));
+    wrong.append(gate::swap_gate(0, 1));
+    wrong.append(gate::h(0));  // stale location
+    r.physical = std::move(wrong);
+    EXPECT_FALSE(validate_routed(logical, r, arch::line(2).coupling).valid);
+}
+
+}  // namespace
+}  // namespace qubikos

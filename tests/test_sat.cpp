@@ -1,0 +1,180 @@
+// Tests for the CDCL SAT solver: known instances, pigeonhole UNSAT,
+// randomized agreement with brute-force enumeration, assumptions,
+// conflict limits, model validity.
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/encodings.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace qubikos::sat {
+namespace {
+
+TEST(sat, trivial_cases) {
+    solver s;
+    EXPECT_EQ(s.solve(), status::sat);  // empty formula
+
+    const var a = s.new_var();
+    s.add_clause(pos(a));
+    EXPECT_EQ(s.solve(), status::sat);
+    EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(sat, unit_contradiction) {
+    solver s;
+    const var a = s.new_var();
+    s.add_clause(pos(a));
+    EXPECT_FALSE(s.add_clause(neg(a)));
+    EXPECT_EQ(s.solve(), status::unsat);
+}
+
+TEST(sat, simple_implication_chain) {
+    solver s;
+    std::vector<var> vars;
+    for (int i = 0; i < 20; ++i) vars.push_back(s.new_var());
+    for (int i = 0; i + 1 < 20; ++i) s.add_clause(neg(vars[i]), pos(vars[i + 1]));
+    s.add_clause(pos(vars[0]));
+    ASSERT_EQ(s.solve(), status::sat);
+    for (const var v : vars) EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(sat, tautology_and_duplicates_are_simplified) {
+    solver s;
+    const var a = s.new_var();
+    const var b = s.new_var();
+    EXPECT_TRUE(s.add_clause({pos(a), neg(a), pos(b)}));  // tautology: dropped
+    EXPECT_TRUE(s.add_clause({pos(b), pos(b), pos(b)}));  // collapses to unit
+    ASSERT_EQ(s.solve(), status::sat);
+    EXPECT_TRUE(s.model_value(b));
+}
+
+/// Pigeonhole principle PHP(n+1, n): UNSAT, requires real conflict
+/// analysis to finish in reasonable time for small n.
+formula pigeonhole(int holes) {
+    const int pigeons = holes + 1;
+    formula f(pigeons * holes);
+    const auto v = [holes](int p, int h) { return p * holes + h; };
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<lit> clause;
+        for (int h = 0; h < holes; ++h) clause.push_back(pos(v(p, h)));
+        f.add_clause(clause);
+    }
+    for (int h = 0; h < holes; ++h) {
+        for (int p1 = 0; p1 < pigeons; ++p1) {
+            for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+                f.add_clause({neg(v(p1, h)), neg(v(p2, h))});
+            }
+        }
+    }
+    return f;
+}
+
+TEST(sat, pigeonhole_unsat) {
+    for (int holes = 2; holes <= 6; ++holes) {
+        solver s;
+        pigeonhole(holes).load_into(s);
+        EXPECT_EQ(s.solve(), status::unsat) << "PHP(" << holes + 1 << "," << holes << ")";
+    }
+}
+
+TEST(sat, conflict_limit_returns_unknown) {
+    solver s;
+    pigeonhole(8).load_into(s);
+    s.set_conflict_limit(5);
+    EXPECT_EQ(s.solve(), status::unknown);
+}
+
+TEST(sat, assumptions) {
+    solver s;
+    const var a = s.new_var();
+    const var b = s.new_var();
+    s.add_clause(neg(a), pos(b));  // a -> b
+    EXPECT_EQ(s.solve({pos(a), neg(b)}), status::unsat);
+    EXPECT_EQ(s.solve({pos(a)}), status::sat);
+    EXPECT_TRUE(s.model_value(b));
+    // The solver remains reusable after assumption solves.
+    EXPECT_EQ(s.solve({neg(b)}), status::sat);
+    EXPECT_FALSE(s.model_value(a));
+    EXPECT_EQ(s.solve(), status::sat);
+}
+
+/// Randomized 3-SAT agreement with brute force across a seed sweep.
+class sat_random : public ::testing::TestWithParam<int> {};
+
+TEST_P(sat_random, agrees_with_brute_force) {
+    rng random(static_cast<std::uint64_t>(GetParam()) * 1337);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int num_vars = random.range(3, 12);
+        const int num_clauses = random.range(2, 50);
+        formula f(num_vars);
+        for (int i = 0; i < num_clauses; ++i) {
+            std::vector<lit> clause;
+            const int width = random.range(1, 3);
+            for (int j = 0; j < width; ++j) {
+                clause.push_back(lit::make(random.range(0, num_vars - 1), random.chance(0.5)));
+            }
+            f.add_clause(clause);
+        }
+        solver s;
+        const bool not_trivially_unsat = f.load_into(s);
+        const status result = not_trivially_unsat ? s.solve() : status::unsat;
+        const bool expected = f.brute_force_satisfiable();
+        ASSERT_EQ(result == status::sat, expected) << f.to_dimacs();
+        if (result == status::sat) {
+            std::vector<bool> model(static_cast<std::size_t>(num_vars));
+            for (int v = 0; v < num_vars; ++v) model[static_cast<std::size_t>(v)] = s.model_value(v);
+            EXPECT_TRUE(f.satisfied_by(model)) << "model does not satisfy formula";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, sat_random, ::testing::Range(1, 11));
+
+TEST(sat, larger_random_instances_complete) {
+    // Medium random 3-SAT around the easy regions on both sides of the
+    // threshold; checks that restarts/reduction machinery holds up.
+    rng random(99);
+    for (const double ratio : {2.0, 6.0}) {
+        const int num_vars = 150;
+        const int num_clauses = static_cast<int>(num_vars * ratio);
+        solver s;
+        std::vector<var> vars;
+        for (int i = 0; i < num_vars; ++i) vars.push_back(s.new_var());
+        for (int i = 0; i < num_clauses; ++i) {
+            std::vector<lit> clause;
+            for (int j = 0; j < 3; ++j) {
+                clause.push_back(lit::make(vars[static_cast<std::size_t>(
+                                               random.range(0, num_vars - 1))],
+                                           random.chance(0.5)));
+            }
+            s.add_clause(clause);
+        }
+        const status result = s.solve();
+        EXPECT_NE(result, status::unknown);
+        if (ratio <= 3.0) {
+            EXPECT_EQ(result, status::sat);
+        }
+    }
+}
+
+TEST(sat, stats_populate) {
+    solver s;
+    pigeonhole(5).load_into(s);
+    EXPECT_EQ(s.solve(), status::unsat);
+    EXPECT_GT(s.stats().conflicts, 0u);
+    EXPECT_GT(s.stats().decisions, 0u);
+    EXPECT_GT(s.stats().propagations, 0u);
+}
+
+TEST(sat, model_access_errors) {
+    solver s;
+    EXPECT_THROW((void)s.model_value(0), std::out_of_range);
+    const var a = s.new_var();
+    s.add_clause(pos(a));
+    s.solve();
+    EXPECT_THROW((void)s.model_value(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace qubikos::sat

@@ -1,0 +1,95 @@
+// Suite generation and on-disk round-trip tests.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "arch/architectures.hpp"
+#include "circuit/qasm.hpp"
+#include "core/suite.hpp"
+#include "core/verifier.hpp"
+
+namespace qubikos {
+namespace {
+
+core::suite_spec small_spec() {
+    core::suite_spec spec;
+    spec.arch_name = "aspen4";
+    spec.swap_counts = {1, 3};
+    spec.circuits_per_count = 2;
+    spec.total_two_qubit_gates = 50;
+    spec.single_qubit_rate = 0.1;
+    spec.base_seed = 11;
+    return spec;
+}
+
+TEST(suite, generate_matches_spec) {
+    const auto device = arch::aspen4();
+    const auto s = core::generate_suite(device, small_spec());
+    ASSERT_EQ(s.instances.size(), 4u);
+    EXPECT_EQ(s.instances[0].optimal_swaps, 1);
+    EXPECT_EQ(s.instances[1].optimal_swaps, 1);
+    EXPECT_EQ(s.instances[2].optimal_swaps, 3);
+    EXPECT_EQ(s.instances[3].optimal_swaps, 3);
+    // Deterministic seeds: re-generating gives identical circuits.
+    const auto again = core::generate_suite(device, small_spec());
+    for (std::size_t i = 0; i < s.instances.size(); ++i) {
+        EXPECT_EQ(qasm::write(s.instances[i].logical), qasm::write(again.instances[i].logical));
+    }
+    // All structurally verified.
+    for (const auto& instance : s.instances) {
+        EXPECT_TRUE(core::verify_structure(instance, device).valid);
+    }
+}
+
+TEST(suite, save_load_round_trip) {
+    const auto dir = std::filesystem::temp_directory_path() / "qubikos_suite_test";
+    std::filesystem::remove_all(dir);
+
+    const auto device = arch::aspen4();
+    const auto s = core::generate_suite(device, small_spec());
+    core::save_suite(s, dir.string());
+
+    EXPECT_TRUE(std::filesystem::exists(dir / "manifest.json"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "qubikos_s1_i0.qasm"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "qubikos_s1_i0.answer.qasm"));
+    EXPECT_TRUE(std::filesystem::exists(dir / "qubikos_s3_i1.json"));
+
+    const auto loaded = core::load_suite(dir.string());
+    EXPECT_EQ(loaded.spec.arch_name, "aspen4");
+    EXPECT_EQ(loaded.spec.swap_counts, (std::vector<int>{1, 3}));
+    EXPECT_EQ(loaded.spec.circuits_per_count, 2);
+    EXPECT_EQ(loaded.spec.base_seed, 11u);
+    ASSERT_EQ(loaded.instances.size(), s.instances.size());
+
+    for (std::size_t i = 0; i < s.instances.size(); ++i) {
+        const auto& original = s.instances[i];
+        const auto& restored = loaded.instances[i];
+        EXPECT_EQ(restored.optimal_swaps, original.optimal_swaps);
+        EXPECT_EQ(restored.seed, original.seed);
+        EXPECT_EQ(qasm::write(restored.logical), qasm::write(original.logical));
+        EXPECT_EQ(qasm::write(restored.answer.physical),
+                  qasm::write(original.answer.physical));
+        EXPECT_EQ(restored.answer.initial.program_to_physical(),
+                  original.answer.initial.program_to_physical());
+        ASSERT_EQ(restored.sections.size(), original.sections.size());
+        for (std::size_t j = 0; j < original.sections.size(); ++j) {
+            EXPECT_EQ(restored.sections[j].body, original.sections[j].body);
+            EXPECT_EQ(restored.sections[j].special, original.sections[j].special);
+            EXPECT_EQ(restored.sections[j].swap_physical, original.sections[j].swap_physical);
+            EXPECT_EQ(restored.sections[j].body_gate_indices,
+                      original.sections[j].body_gate_indices);
+            EXPECT_EQ(restored.sections[j].special_gate_index,
+                      original.sections[j].special_gate_index);
+        }
+        // The reloaded instance must still verify structurally.
+        EXPECT_TRUE(core::verify_structure(restored, device).valid);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(suite, load_missing_directory_fails) {
+    EXPECT_THROW((void)core::load_suite("/nonexistent/qubikos_nowhere"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qubikos

@@ -1,0 +1,109 @@
+// The structural verifier must reject every corruption of a valid
+// instance — these tests mutate instances in targeted ways and check the
+// verifier catches each one.
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "core/qubikos.hpp"
+#include "core/verifier.hpp"
+
+namespace qubikos {
+namespace {
+
+core::benchmark_instance valid_instance() {
+    core::generator_options options;
+    options.num_swaps = 3;
+    options.seed = 123;
+    options.total_two_qubit_gates = 60;
+    return core::generate(arch::aspen4(), options);
+}
+
+TEST(verifier, accepts_valid_instance) {
+    const auto report = core::verify_structure(valid_instance(), arch::aspen4());
+    EXPECT_TRUE(report.valid) << report.error;
+}
+
+TEST(verifier, rejects_wrong_declared_count) {
+    auto instance = valid_instance();
+    instance.optimal_swaps = 2;
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+    instance.optimal_swaps = 4;
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+}
+
+TEST(verifier, rejects_answer_with_missing_swap) {
+    auto instance = valid_instance();
+    circuit stripped(instance.answer.physical.num_qubits());
+    bool removed = false;
+    for (const auto& g : instance.answer.physical.gates()) {
+        if (!removed && g.is_swap()) {
+            removed = true;
+            continue;
+        }
+        stripped.append(g);
+    }
+    ASSERT_TRUE(removed);
+    instance.answer.physical = std::move(stripped);
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+}
+
+TEST(verifier, rejects_answer_with_dropped_gate) {
+    auto instance = valid_instance();
+    circuit truncated(instance.answer.physical.num_qubits());
+    for (std::size_t i = 0; i + 1 < instance.answer.physical.size(); ++i) {
+        truncated.append(instance.answer.physical[i]);
+    }
+    instance.answer.physical = std::move(truncated);
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+}
+
+TEST(verifier, rejects_wrong_initial_mapping) {
+    auto instance = valid_instance();
+    auto q2p = instance.answer.initial.program_to_physical();
+    std::swap(q2p[0], q2p[1]);
+    instance.answer.initial = mapping::from_program_to_physical(
+        q2p, arch::aspen4().coupling.num_vertices());
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+}
+
+TEST(verifier, rejects_embeddable_section) {
+    auto instance = valid_instance();
+    // Replace a section's body+special with an embeddable pattern (a
+    // single edge): VF2 will find an embedding and V2 must fail.
+    auto& section = instance.sections[0];
+    section.body = {edge(0, 1)};
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+}
+
+TEST(verifier, rejects_mismatched_section_count) {
+    auto instance = valid_instance();
+    instance.sections.pop_back();
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+}
+
+TEST(verifier, rejects_corrupted_swap_edge) {
+    auto instance = valid_instance();
+    // Point a section's swap at a different coupling edge: the special
+    // gate executability / replayed mappings break.
+    const auto device = arch::aspen4();
+    const auto& edges = device.coupling.edges();
+    for (const auto& e : edges) {
+        if (!(e == instance.sections[0].swap_physical)) {
+            instance.sections[0].swap_physical = e;
+            break;
+        }
+    }
+    EXPECT_FALSE(core::verify_structure(instance, arch::aspen4()).valid);
+}
+
+TEST(verifier, error_messages_are_informative) {
+    auto instance = valid_instance();
+    instance.optimal_swaps = 1;
+    const auto report = core::verify_structure(instance, arch::aspen4());
+    ASSERT_FALSE(report.valid);
+    EXPECT_FALSE(report.error.empty());
+    EXPECT_NE(report.error.find("swap"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qubikos
