@@ -1,20 +1,44 @@
-// Microbenchmarks (google-benchmark): throughput of the core components.
-// Not a paper table — evidence that generation and verification are cheap
-// enough to produce suites at the paper's scale (and far beyond).
-#include <benchmark/benchmark.h>
+// Microbenchmarks: throughput of the core components.
+//
+// Two layers:
+//   1. Timed sections (always built) covering the hot paths this repo
+//      optimizes — distance_matrix construction, a single routing pass,
+//      and the 32-trial SABRE engine at 1, 2 and hardware_concurrency
+//      threads — emitted as machine-readable BENCH_micro.json so the
+//      perf trajectory is tracked PR over PR.
+//   2. The original google-benchmark suite (built when the library is
+//      available), skipped at smoke scale to keep CI fast.
+//
+// Scale via QUBIKOS_BENCH_SCALE=smoke|standard|paper (see bench_common).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <thread>
+#include <vector>
 
 #include "arch/architectures.hpp"
+#include "bench_common.hpp"
 #include "circuit/dag.hpp"
-#include "circuit/interaction.hpp"
+#include "circuit/mapping.hpp"
 #include "core/qubikos.hpp"
+#include "graph/distance.hpp"
+#include "router/sabre.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(QUBIKOS_HAVE_GBENCH)
+#include <benchmark/benchmark.h>
+
+#include "circuit/interaction.hpp"
 #include "core/verifier.hpp"
 #include "exact/olsq.hpp"
-#include "graph/distance.hpp"
 #include "graph/vf2.hpp"
 #include "router/mlqls.hpp"
 #include "router/qmap.hpp"
-#include "router/sabre.hpp"
 #include "router/tket.hpp"
+#endif
 
 namespace {
 
@@ -33,6 +57,136 @@ core::benchmark_instance make_instance(const arch::architecture& device, int swa
     options.seed = 99;
     return core::generate(device, options);
 }
+
+// --- timed sections ---------------------------------------------------------
+
+/// Best-of-`reps` wall time of fn() in seconds (min filters scheduler
+/// noise better than the mean at these sub-second durations).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        stopwatch timer;
+        fn();
+        best = std::min(best, timer.seconds());
+    }
+    return best;
+}
+
+json::array time_distance_matrix(int reps) {
+    json::array out;
+    for (int i = 0; i < 4; ++i) {
+        const auto& device = device_by_index(i);
+        volatile int sink = 0;
+        const double seconds = best_seconds(reps, [&] {
+            const distance_matrix dist(device.coupling);
+            sink = dist.diameter();
+        });
+        (void)sink;
+        std::printf("  distance_matrix  %-12s %9.1f us\n", device.name.c_str(),
+                    seconds * 1e6);
+        out.push_back(json::object{{"arch", device.name},
+                                   {"reps", reps},
+                                   {"seconds", seconds}});
+    }
+    return out;
+}
+
+json::value time_route_pass(int reps, std::size_t gates) {
+    const auto device = arch::sycamore54();
+    const auto instance = make_instance(device, 10, gates);
+    const mapping initial =
+        mapping::identity(instance.logical.num_qubits(), device.num_qubits());
+    router::sabre_options options;
+    std::size_t swaps = 0;
+    const double seconds = best_seconds(reps, [&] {
+        const auto routed =
+            router::route_sabre_with_initial(instance.logical, device.coupling,
+                                             initial, options);
+        swaps = routed.swap_count();
+    });
+    std::printf("  route_pass       %-12s %9.1f us  (%zu gates, %zu swaps)\n",
+                device.name.c_str(), seconds * 1e6, gates, swaps);
+    return json::object{{"arch", device.name},
+                        {"gates", gates},
+                        {"reps", reps},
+                        {"swaps", swaps},
+                        {"seconds", seconds}};
+}
+
+json::array time_sabre_trials(std::size_t gates, int trials) {
+    const auto device = arch::sycamore54();
+    const auto instance = make_instance(device, 10, gates);
+
+    std::vector<std::size_t> thread_counts = {1, 2,
+                                              thread_pool::resolve_threads(0)};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(std::unique(thread_counts.begin(), thread_counts.end()),
+                        thread_counts.end());
+
+    json::array out;
+    double serial_seconds = 0.0;
+    for (const std::size_t threads : thread_counts) {
+        router::sabre_options options;
+        options.trials = trials;
+        options.threads = static_cast<int>(threads);
+        router::sabre_stats stats;
+        stopwatch timer;
+        const auto routed =
+            router::route_sabre(instance.logical, device.coupling, options, &stats);
+        const double seconds = timer.seconds();
+        if (threads == 1) serial_seconds = seconds;
+        const double speedup = seconds > 0.0 ? serial_seconds / seconds : 0.0;
+        std::printf(
+            "  route_sabre      %2d trials x %2zu threads %9.3f s  "
+            "(speedup %.2fx, best trial %d: %zu swaps)\n",
+            trials, threads, seconds, speedup, stats.best_trial, routed.swap_count());
+        out.push_back(json::object{{"threads", threads},
+                                   {"trials", trials},
+                                   {"gates", gates},
+                                   {"seconds", seconds},
+                                   {"speedup_vs_serial", speedup},
+                                   {"best_trial", stats.best_trial},
+                                   {"best_swaps", stats.best_swaps}});
+    }
+    return out;
+}
+
+int run_timed_sections() {
+    const bench::scale s = bench::bench_scale();
+    const int reps = s == bench::scale::smoke ? 3 : (s == bench::scale::paper ? 50 : 10);
+    const std::size_t gates =
+        s == bench::scale::smoke ? 300 : (s == bench::scale::paper ? 3000 : 1500);
+
+    bench::print_header("bench_micro: hot-path timed sections",
+                        "infrastructure (no paper figure)");
+    std::printf("threads available: %zu (QUBIKOS_THREADS overrides)\n\n",
+                thread_pool::resolve_threads(0));
+
+    json::object doc;
+    doc["schema"] = "qubikos.bench_micro.v1";
+    doc["scale"] = bench::scale_name(s);
+    // Both recorded: the machine's real core count, and what a thread
+    // request of 0 resolves to here (differs when QUBIKOS_THREADS is
+    // set) — trajectory comparisons need to tell the two apart.
+    doc["hardware_concurrency"] =
+        static_cast<std::size_t>(std::thread::hardware_concurrency());
+    doc["resolved_threads"] = thread_pool::resolve_threads(0);
+    doc["distance_matrix"] = time_distance_matrix(reps);
+    doc["route_pass"] = time_route_pass(reps, gates);
+    doc["route_sabre_trials"] = time_sabre_trials(gates, 32);
+
+    const std::string path = "BENCH_micro.json";
+    std::ofstream file(path);
+    file << json::value(std::move(doc)).dump(2) << "\n";
+    file.flush();  // surface deferred write errors before the good() check
+    std::printf("\n[raw data: %s]\n", path.c_str());
+    return file.good() ? 0 : 1;
+}
+
+// --- google-benchmark suite (optional) --------------------------------------
+
+#if defined(QUBIKOS_HAVE_GBENCH)
 
 void bm_generate(benchmark::State& state) {
     const auto& device = device_by_index(static_cast<int>(state.range(0)));
@@ -141,6 +295,23 @@ void bm_route_mlqls(benchmark::State& state) {
 }
 BENCHMARK(bm_route_mlqls);
 
+#endif  // QUBIKOS_HAVE_GBENCH
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const int status = run_timed_sections();
+    if (status != 0) return status;
+#if defined(QUBIKOS_HAVE_GBENCH)
+    if (bench::bench_scale() != bench::scale::smoke) {
+        std::printf("\n");
+        benchmark::Initialize(&argc, argv);
+        if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+        benchmark::RunSpecifiedBenchmarks();
+    }
+#else
+    (void)argc;
+    (void)argv;
+#endif
+    return 0;
+}

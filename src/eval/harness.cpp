@@ -1,6 +1,9 @@
 #include "eval/harness.hpp"
 
+#include <stdexcept>
+
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qubikos::eval {
 
@@ -34,27 +37,41 @@ std::vector<tool> paper_toolbox(const toolbox_options& options) {
 }
 
 evaluation_result evaluate_suite(const core::suite& s, const arch::architecture& device,
-                                 const std::vector<tool>& tools) {
+                                 const std::vector<tool>& tools, int threads) {
+    if (threads < 0) throw std::invalid_argument("evaluate_suite: threads must be >= 0");
     evaluation_result result;
-    for (const auto& instance : s.instances) {
-        for (const auto& t : tools) {
-            stopwatch timer;
-            const routed_circuit routed = t.run(instance.logical, device.coupling);
-            run_record record;
-            record.tool = t.name;
-            record.designed_swaps = instance.optimal_swaps;
-            record.seconds = timer.seconds();
-            const auto report = validate_routed(instance.logical, routed, device.coupling);
-            record.valid = report.valid;
-            record.measured_swaps = report.swap_count;
-            const int logical_depth = instance.logical.depth();
-            if (logical_depth > 0) {
-                record.depth_ratio = static_cast<double>(routed.physical.depth()) /
-                                     static_cast<double>(logical_depth);
-            }
-            if (!record.valid) ++result.invalid_runs;
-            result.records.push_back(std::move(record));
+    const std::size_t num_tools = tools.size();
+    const std::size_t num_pairs = s.instances.size() * num_tools;
+    if (num_pairs == 0) return result;
+
+    // Each (instance, tool) pair fills its preallocated slot; the slot
+    // index encodes the serial iteration order (instance-major), so the
+    // records come out identical to the serial loop regardless of
+    // scheduling.
+    result.records.resize(num_pairs);
+    thread_pool pool(std::min(
+        thread_pool::resolve_threads(static_cast<std::size_t>(threads)), num_pairs));
+    pool.parallel_for(0, num_pairs, [&](std::size_t pair) {
+        const auto& instance = s.instances[pair / num_tools];
+        const auto& t = tools[pair % num_tools];
+        stopwatch timer;
+        const routed_circuit routed = t.run(instance.logical, device.coupling);
+        run_record& record = result.records[pair];
+        record.tool = t.name;
+        record.designed_swaps = instance.optimal_swaps;
+        record.seconds = timer.seconds();
+        const auto report = validate_routed(instance.logical, routed, device.coupling);
+        record.valid = report.valid;
+        record.measured_swaps = report.swap_count;
+        const int logical_depth = instance.logical.depth();
+        if (logical_depth > 0) {
+            record.depth_ratio = static_cast<double>(routed.physical.depth()) /
+                                 static_cast<double>(logical_depth);
         }
+    });
+
+    for (const auto& record : result.records) {
+        if (!record.valid) ++result.invalid_runs;
     }
     result.cells = aggregate(result.records);
     return result;

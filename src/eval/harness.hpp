@@ -47,9 +47,19 @@ struct evaluation_result {
     int invalid_runs = 0;
 };
 
-/// Runs every tool on every instance of the suite.
+/// Runs every tool on every instance of the suite. The (tool x instance)
+/// grid is embarrassingly parallel: pairs run on a thread pool sized by
+/// `threads` (0 = auto via QUBIKOS_THREADS / hardware_concurrency, 1 =
+/// serial) and each writes a preallocated record slot, so records keep
+/// the serial order (instance-major, tool-minor) and identical swap
+/// counts, validity and depth ratios for every thread count. `seconds`
+/// is wall time and inflates under contention — benches that report
+/// runtimes must use threads = 1. When parallelizing here, keep the
+/// tools themselves serial (sabre_options::threads = 1) to avoid
+/// oversubscription.
 [[nodiscard]] evaluation_result evaluate_suite(const core::suite& s,
                                                const arch::architecture& device,
-                                               const std::vector<tool>& tools);
+                                               const std::vector<tool>& tools,
+                                               int threads = 1);
 
 }  // namespace qubikos::eval

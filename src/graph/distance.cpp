@@ -3,15 +3,32 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "graph/bfs.hpp"
-
 namespace qubikos {
 
 distance_matrix::distance_matrix(const graph& g) : n_(g.num_vertices()) {
-    dist_.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+    // One allocation sized up front; each BFS writes its row in place,
+    // using the row itself as the visited marker (-1 = unvisited) and a
+    // single reusable frontier buffer. A BFS queue only grows, so two
+    // cursors over a flat array replace a deque.
+    const auto n = static_cast<std::size_t>(n_);
+    dist_.assign(n * n, unreachable());
+    std::vector<std::int32_t> frontier(n);
     for (int v = 0; v < n_; ++v) {
-        const auto row = bfs_distances(g, {v});
-        dist_.insert(dist_.end(), row.begin(), row.end());
+        std::int32_t* row = dist_.data() + static_cast<std::size_t>(v) * n;
+        row[v] = 0;
+        frontier[0] = v;
+        std::size_t head = 0;
+        std::size_t tail = 1;
+        while (head < tail) {
+            const std::int32_t u = frontier[head++];
+            const std::int32_t du = row[u];
+            for (const int w : g.neighbors(u)) {
+                if (row[w] == unreachable()) {
+                    row[w] = du + 1;
+                    frontier[tail++] = static_cast<std::int32_t>(w);
+                }
+            }
+        }
     }
 }
 
@@ -24,7 +41,7 @@ int distance_matrix::at(int u, int v) const {
 
 int distance_matrix::diameter() const {
     int best = 0;
-    for (const int d : dist_) best = std::max(best, d);
+    for (const std::int32_t d : dist_) best = std::max(best, static_cast<int>(d));
     return best;
 }
 

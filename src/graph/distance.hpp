@@ -4,14 +4,17 @@
 // distance; the matrix is computed once per architecture and shared.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
 
 namespace qubikos {
 
-/// Dense APSP matrix computed by one BFS per vertex. Distances of
-/// disconnected pairs are reported as unreachable().
+/// Dense APSP matrix computed by one BFS per vertex into one contiguous
+/// int32 allocation (a row per source, written in place — no per-vertex
+/// heap traffic). Distances of disconnected pairs are reported as
+/// unreachable().
 class distance_matrix {
 public:
     distance_matrix() = default;
@@ -31,7 +34,7 @@ public:
 
 private:
     int n_ = 0;
-    std::vector<int> dist_;
+    std::vector<std::int32_t> dist_;
 };
 
 }  // namespace qubikos

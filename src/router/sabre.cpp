@@ -3,16 +3,24 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "circuit/dag.hpp"
 #include "router/common.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qubikos::router {
 
 namespace {
 
 /// One routing pass over a prepared DAG. Returns the final mapping.
+///
+/// The inner loops run on reused flat scratch buffers: the executable
+/// drain collects into one vector instead of copying the front layer per
+/// sweep, per-gate physical operand locations are looked up once per
+/// decision point (not once per candidate x gate), and the score /
+/// tie-break vectors keep their capacity across iterations.
 mapping route_pass(const gate_dag& dag, const graph& coupling,
                    const distance_matrix& dist, const mapping& initial,
                    const sabre_options& options, rng& random, emission_buffer* emit,
@@ -25,33 +33,47 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
     const int release_threshold =
         options.release_valve > 0 ? options.release_valve : 3 * dist.diameter() + 20;
 
+    // Scratch buffers reused across every iteration of the routing loop.
+    std::vector<int> executable;
+    std::vector<std::pair<int, int>> front_phys;
+    std::vector<std::pair<int, int>> ext_phys;
+    std::vector<double> ext_weight;
+    std::vector<swap_score> scores;
+    std::vector<std::size_t> best_indices;
+
     const auto reset_decay = [&decay, &swaps_since_reset]() {
         std::fill(decay.begin(), decay.end(), 1.0);
         swaps_since_reset = 0;
     };
 
-    // Distance of a gate after hypothetically applying swap (pa, pb).
-    const auto gate_distance_after = [&](int node, int pa, int pb) {
-        const gate& g = dag.node_gate(node);
-        auto moved = [pa, pb](int p) { return p == pa ? pb : (p == pb ? pa : p); };
-        return dist(moved(current.physical(g.q0)), moved(current.physical(g.q1)));
+    // Distance of a gate (cached physical operands p0, p1) after
+    // hypothetically applying swap (pa, pb).
+    const auto dist_after = [&dist](int p0, int p1, int pa, int pb) {
+        const int m0 = p0 == pa ? pb : (p0 == pb ? pa : p0);
+        const int m1 = p1 == pa ? pb : (p1 == pb ? pa : p1);
+        return dist(m0, m1);
     };
 
     while (!frontier.done()) {
-        // Execute everything executable.
+        // Execute everything executable. The mapping is fixed during a
+        // sweep, so collecting first and executing second sees exactly
+        // the nodes a front-layer snapshot would.
         bool executed_any = true;
         bool progressed = false;
         while (executed_any) {
             executed_any = false;
-            const std::vector<int> front_copy = frontier.front();
-            for (const int node : front_copy) {
+            executable.clear();
+            for (const int node : frontier.front()) {
                 const gate& g = dag.node_gate(node);
                 if (coupling.has_edge(current.physical(g.q0), current.physical(g.q1))) {
-                    if (emit != nullptr) emit->execute_two_qubit(node, current);
-                    frontier.execute(node);
-                    executed_any = true;
-                    progressed = true;
+                    executable.push_back(node);
                 }
+            }
+            for (const int node : executable) {
+                if (emit != nullptr) emit->execute_two_qubit(node, current);
+                frontier.execute(node);
+                executed_any = true;
+                progressed = true;
             }
         }
         if (progressed) {
@@ -100,8 +122,21 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
         const auto extended = frontier.lookahead_set(options.extended_set_size);
         const auto& front = frontier.front();
 
+        // Physical operand locations, looked up once per decision point
+        // and shared by every candidate's score.
+        front_phys.clear();
+        for (const int node : front) {
+            const gate& g = dag.node_gate(node);
+            front_phys.emplace_back(current.physical(g.q0), current.physical(g.q1));
+        }
+        ext_phys.clear();
+        for (const int node : extended) {
+            const gate& g = dag.node_gate(node);
+            ext_phys.emplace_back(current.physical(g.q0), current.physical(g.q1));
+        }
+
         // Extended-set position weights (uniform when lookahead_decay==1).
-        std::vector<double> ext_weight(extended.size(), 1.0);
+        ext_weight.assign(extended.size(), 1.0);
         double ext_norm = static_cast<double>(extended.size());
         if (options.lookahead_decay < 1.0 && !extended.empty()) {
             double w = 1.0;
@@ -113,19 +148,22 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
             }
         }
 
-        std::vector<swap_score> scores;
+        scores.clear();
         scores.reserve(candidates.size());
         double best_total = std::numeric_limits<double>::infinity();
         for (const auto& cand : candidates) {
             swap_score s;
             s.candidate = cand;
             double basic = 0.0;
-            for (const int node : front) basic += gate_distance_after(node, cand.a, cand.b);
-            s.basic = basic / static_cast<double>(front.size());
-            if (!extended.empty()) {
+            for (const auto& [p0, p1] : front_phys) {
+                basic += dist_after(p0, p1, cand.a, cand.b);
+            }
+            s.basic = basic / static_cast<double>(front_phys.size());
+            if (!ext_phys.empty()) {
                 double ext = 0.0;
-                for (std::size_t i = 0; i < extended.size(); ++i) {
-                    ext += ext_weight[i] * gate_distance_after(extended[i], cand.a, cand.b);
+                for (std::size_t i = 0; i < ext_phys.size(); ++i) {
+                    ext += ext_weight[i] *
+                           dist_after(ext_phys[i].first, ext_phys[i].second, cand.a, cand.b);
                 }
                 s.lookahead = options.extended_set_weight * ext / ext_norm;
             }
@@ -136,7 +174,7 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
         }
 
         // Random tie-break among the best candidates (as Qiskit does).
-        std::vector<std::size_t> best_indices;
+        best_indices.clear();
         for (std::size_t i = 0; i < scores.size(); ++i) {
             if (scores[i].total() <= best_total + 1e-12) best_indices.push_back(i);
         }
@@ -171,6 +209,15 @@ circuit reversed(const circuit& c) {
     for (std::size_t i = c.size(); i > 0; --i) out.append(c[i - 1]);
     return out;
 }
+
+/// Everything one trial produces; slots are preallocated so parallel
+/// trials never contend.
+struct trial_result {
+    std::size_t swaps = 0;
+    std::size_t force_routes = 0;
+    mapping initial;
+    circuit physical;
+};
 
 }  // namespace
 
@@ -210,17 +257,27 @@ mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
 routed_circuit route_sabre(const circuit& logical, const graph& coupling,
                            const sabre_options& options, sabre_stats* stats) {
     if (options.trials < 1) throw std::invalid_argument("route_sabre: trials must be >= 1");
+    if (options.threads < 0) throw std::invalid_argument("route_sabre: threads must be >= 0");
     const gate_dag dag(logical);
-    const gate_dag reverse_dag = gate_dag(reversed(logical));
     const circuit reversed_logical = reversed(logical);
+    const gate_dag reverse_dag(reversed_logical);
     const distance_matrix dist(coupling);
 
-    routed_circuit best;
-    std::size_t best_swaps = std::numeric_limits<std::size_t>::max();
-    int best_trial = -1;
-    std::size_t total_force_routes = 0;
+    // Trials draw from independent salted RNG streams and share only
+    // read-only state, so they are embarrassingly parallel: each writes
+    // its preallocated slot, then a serial reduction picks the winner.
+    // Slots are recycled block by block so peak memory is O(pool size),
+    // not O(trials) — at paper scale (1000 trials) holding every routed
+    // circuit at once would dwarf the routing state itself.
+    const std::size_t trials = static_cast<std::size_t>(options.trials);
+    thread_pool pool(std::min(thread_pool::resolve_threads(
+                                  static_cast<std::size_t>(options.threads)),
+                              trials));
+    const std::size_t block =
+        std::min(trials, std::max<std::size_t>(pool.size() * 4, 16));
+    std::vector<trial_result> results(block);
 
-    for (int trial = 0; trial < options.trials; ++trial) {
+    const auto run_trial = [&](std::size_t trial) {
         // Salted stream: tool seeds must never alias generator seeds, or
         // a trial would silently reproduce the planted optimal mapping.
         rng random((options.seed ^ 0x5ab3e7a1c2d9f04bULL) +
@@ -243,14 +300,34 @@ routed_circuit route_sabre(const circuit& logical, const graph& coupling,
         const mapping final_mapping = route_pass(dag, coupling, dist, initial,
                                                  options, random, &emit, {}, &force_routes);
         emit.finish(final_mapping);
-        total_force_routes += force_routes;
 
-        const std::size_t swaps = emit.swaps_emitted();
-        if (swaps < best_swaps) {
-            best_swaps = swaps;
-            best_trial = trial;
-            best.initial = initial;
-            best.physical = emit.take();
+        trial_result& slot = results[trial % block];
+        slot.swaps = emit.swaps_emitted();
+        slot.force_routes = force_routes;
+        slot.initial = std::move(initial);
+        slot.physical = emit.take();
+    };
+
+    // Deterministic reduction: fewest swaps wins, ties broken by lowest
+    // trial index — the per-block reduction scans slots in trial order,
+    // so the result is bit-identical to the serial loop for any thread
+    // count and any block size.
+    routed_circuit best;
+    std::size_t best_swaps = std::numeric_limits<std::size_t>::max();
+    int best_trial = -1;
+    std::size_t total_force_routes = 0;
+    for (std::size_t start = 0; start < trials; start += block) {
+        const std::size_t end = std::min(start + block, trials);
+        pool.parallel_for(start, end, run_trial);
+        for (std::size_t trial = start; trial < end; ++trial) {
+            trial_result& slot = results[trial % block];
+            total_force_routes += slot.force_routes;
+            if (slot.swaps < best_swaps) {
+                best_swaps = slot.swaps;
+                best_trial = static_cast<int>(trial);
+                best.initial = std::move(slot.initial);
+                best.physical = std::move(slot.physical);
+            }
         }
     }
 

@@ -35,6 +35,13 @@ namespace qubikos::router {
 struct sabre_options {
     /// Random restarts; the best (fewest-swap) result is kept.
     int trials = 1;
+    /// Worker threads for the trial loop: 0 = auto (QUBIKOS_THREADS env
+    /// override, else hardware_concurrency), 1 = serial. Trials use
+    /// independent salted RNG streams, so the result is bit-identical
+    /// for every thread count (ties go to the lowest trial index).
+    /// Defaults to serial so cross-tool runtime comparisons stay fair
+    /// and callers opt in to parallelism explicitly.
+    int threads = 1;
     int extended_set_size = 20;
     double extended_set_weight = 0.5;
     double decay_increment = 0.001;

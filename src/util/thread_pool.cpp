@@ -1,0 +1,123 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+
+namespace qubikos {
+
+/// One parallel_for invocation: a shared index cursor plus completion
+/// bookkeeping. Participants pull indices with fetch_add until the range
+/// is exhausted; the last worker to leave wakes the waiting caller.
+struct thread_pool::job {
+    std::atomic<std::size_t> next;
+    std::size_t end;
+    const std::function<void(std::size_t)>* fn;
+    std::atomic<std::size_t> active_workers{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    job(std::size_t begin, std::size_t end_, const std::function<void(std::size_t)>* fn_)
+        : next(begin), end(end_), fn(fn_) {}
+
+    void run() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= end) return;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error) first_error = std::current_exception();
+            }
+        }
+    }
+};
+
+std::size_t thread_pool::resolve_threads(std::size_t requested) {
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("QUBIKOS_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+thread_pool::thread_pool(std::size_t threads) : size_(resolve_threads(threads)) {
+    // size_ == 1 keeps everything inline on the calling thread.
+    workers_.reserve(size_ > 1 ? size_ - 1 : 0);
+    for (std::size_t i = 1; i < size_; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void thread_pool::worker_loop() {
+    // Each published job carries a generation number so a worker joins a
+    // given job at most once (the pointer alone could be reused by a
+    // later stack-allocated job at the same address).
+    std::uint64_t last_seen = 0;
+    for (;;) {
+        job* j = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr && generation_ != last_seen);
+            });
+            if (stop_) return;
+            last_seen = generation_;
+            j = job_;
+            j->active_workers.fetch_add(1, std::memory_order_relaxed);
+        }
+        j->run();
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            // Wake the caller only when it is already waiting (job_
+            // cleared) and this was the last active worker.
+            if (j->active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+                job_ == nullptr) {
+                work_done_.notify_all();
+            }
+        }
+    }
+}
+
+void thread_pool::parallel_for(std::size_t begin, std::size_t end,
+                               const std::function<void(std::size_t)>& fn) {
+    if (begin >= end) return;
+    if (size_ == 1 || end - begin == 1) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        return;
+    }
+
+    job j(begin, end, &fn);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &j;
+        ++generation_;
+    }
+    work_ready_.notify_all();
+
+    j.run();  // The caller participates.
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        job_ = nullptr;  // No new workers may join; wait out the active ones.
+        work_done_.wait(lock, [&j] {
+            return j.active_workers.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (j.first_error) std::rethrow_exception(j.first_error);
+}
+
+}  // namespace qubikos

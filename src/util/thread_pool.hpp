@@ -1,0 +1,66 @@
+// Fixed-size thread pool for embarrassingly parallel index loops.
+//
+// The trial engine (SABRE restarts) and the evaluation harness
+// (tool x instance grid) both consist of independent units of work whose
+// results are reduced deterministically afterwards, so a plain
+// parallel_for over an index range — no work stealing, no futures — is
+// all the concurrency machinery this library needs. No external deps.
+//
+// Sizing: an explicit request wins; a request of 0 means "auto", which
+// reads the QUBIKOS_THREADS environment variable and falls back to
+// std::thread::hardware_concurrency(). A pool of size 1 (or a
+// single-core machine) spawns no threads at all: parallel_for runs the
+// loop inline on the calling thread, so single-threaded behaviour is
+// exactly the serial code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qubikos {
+
+class thread_pool {
+public:
+    /// `threads` == 0 resolves via resolve_threads(); >= 1 is taken as-is.
+    explicit thread_pool(std::size_t threads = 0);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Number of threads that execute work (workers + the calling
+    /// thread); always >= 1.
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    /// Applies fn(i) for every i in [begin, end), distributing indices
+    /// dynamically over the pool; the calling thread participates.
+    /// Blocks until every index is done. If any fn throws, the first
+    /// exception is rethrown here after the loop drains.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn);
+
+    /// 0 -> QUBIKOS_THREADS env var if set and positive, else
+    /// hardware_concurrency() (>= 1); n > 0 -> n.
+    [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
+
+private:
+    struct job;
+
+    void worker_loop();
+
+    std::size_t size_ = 1;
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    job* job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+};
+
+}  // namespace qubikos

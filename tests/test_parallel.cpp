@@ -1,0 +1,209 @@
+// Concurrency-subsystem tests: the thread pool itself, and the promise
+// that every parallel path (SABRE trials, suite evaluation, the flat
+// distance matrix) is bit-identical to its serial counterpart.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "core/qubikos.hpp"
+#include "core/suite.hpp"
+#include "eval/harness.hpp"
+#include "graph/bfs.hpp"
+#include "graph/distance.hpp"
+#include "graph/gen.hpp"
+#include "router/sabre.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qubikos {
+namespace {
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(thread_pool, covers_every_index_exactly_once) {
+    thread_pool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    constexpr std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(thread_pool, single_thread_runs_inline_in_order) {
+    thread_pool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallel_for(3, 8, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(thread_pool, empty_range_is_a_noop) {
+    thread_pool pool(2);
+    pool.parallel_for(5, 5, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(thread_pool, reusable_across_jobs) {
+    thread_pool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallel_for(0, 100, [&](std::size_t i) { sum.fetch_add(i); });
+        EXPECT_EQ(sum.load(), 4950u);
+    }
+}
+
+TEST(thread_pool, propagates_exceptions) {
+    thread_pool pool(2);
+    EXPECT_THROW(pool.parallel_for(0, 64,
+                                   [](std::size_t i) {
+                                       if (i == 13) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+}
+
+TEST(thread_pool, env_override_resolves_auto_size) {
+    ASSERT_EQ(setenv("QUBIKOS_THREADS", "3", 1), 0);
+    EXPECT_EQ(thread_pool::resolve_threads(0), 3u);
+    EXPECT_EQ(thread_pool::resolve_threads(7), 7u);  // explicit beats env
+    ASSERT_EQ(unsetenv("QUBIKOS_THREADS"), 0);
+    EXPECT_GE(thread_pool::resolve_threads(0), 1u);
+}
+
+// --- parallel SABRE trials ---------------------------------------------------
+
+TEST(parallel_sabre, identical_output_for_any_thread_count) {
+    const auto device = arch::aspen4();
+    core::generator_options gen;
+    gen.num_swaps = 6;
+    gen.total_two_qubit_gates = 120;
+    gen.seed = 11;
+    const auto instance = core::generate(device, gen);
+
+    // 20 trials > the 16-slot recycling block, so the reduction crosses
+    // a block boundary in both the serial and parallel configurations.
+    router::sabre_options serial;
+    serial.trials = 20;
+    serial.seed = 5;
+    serial.threads = 1;
+    router::sabre_stats serial_stats;
+    const auto serial_routed =
+        router::route_sabre(instance.logical, device.coupling, serial, &serial_stats);
+
+    for (const int threads : {2, 4}) {
+        router::sabre_options parallel = serial;
+        parallel.threads = threads;
+        router::sabre_stats parallel_stats;
+        const auto parallel_routed = router::route_sabre(instance.logical, device.coupling,
+                                                         parallel, &parallel_stats);
+        EXPECT_EQ(parallel_stats.best_trial, serial_stats.best_trial) << threads;
+        EXPECT_EQ(parallel_stats.best_swaps, serial_stats.best_swaps) << threads;
+        EXPECT_EQ(parallel_stats.force_routes, serial_stats.force_routes) << threads;
+        EXPECT_EQ(parallel_routed.initial, serial_routed.initial) << threads;
+        EXPECT_EQ(parallel_routed.physical.gates(), serial_routed.physical.gates())
+            << threads;
+    }
+}
+
+TEST(parallel_sabre, more_threads_than_trials) {
+    const auto device = arch::grid(2, 3);
+    core::generator_options gen;
+    gen.num_swaps = 2;
+    gen.seed = 4;
+    const auto instance = core::generate(device, gen);
+
+    router::sabre_options one_trial;
+    one_trial.trials = 1;
+    one_trial.threads = 8;
+    router::sabre_options serial = one_trial;
+    serial.threads = 1;
+    const auto a = router::route_sabre(instance.logical, device.coupling, one_trial);
+    const auto b = router::route_sabre(instance.logical, device.coupling, serial);
+    EXPECT_EQ(a.initial, b.initial);
+    EXPECT_EQ(a.physical.gates(), b.physical.gates());
+}
+
+TEST(parallel_sabre, rejects_negative_threads) {
+    const auto device = arch::line(3);
+    core::generator_options gen;
+    gen.num_swaps = 1;
+    gen.seed = 1;
+    const auto instance = core::generate(device, gen);
+    router::sabre_options options;
+    options.threads = -1;
+    EXPECT_THROW((void)router::route_sabre(instance.logical, device.coupling, options),
+                 std::invalid_argument);
+}
+
+// --- flat distance matrix ----------------------------------------------------
+
+TEST(flat_distance, matches_naive_bfs_on_random_graphs) {
+    rng random(17);
+    for (int round = 0; round < 20; ++round) {
+        const int n = random.range(2, 40);
+        const graph g = random_connected_graph(n, random.range(0, n), random);
+        const distance_matrix dist(g);
+        ASSERT_EQ(dist.num_vertices(), n);
+        for (int v = 0; v < n; ++v) {
+            const auto row = bfs_distances(g, {v});
+            for (int u = 0; u < n; ++u) {
+                ASSERT_EQ(dist(v, u), row[static_cast<std::size_t>(u)])
+                    << "round " << round << " pair (" << v << "," << u << ")";
+            }
+        }
+    }
+}
+
+TEST(flat_distance, disconnected_pairs_unreachable) {
+    graph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    const distance_matrix dist(g);
+    EXPECT_EQ(dist(0, 1), 1);
+    EXPECT_EQ(dist(0, 2), distance_matrix::unreachable());
+    EXPECT_EQ(dist(3, 1), distance_matrix::unreachable());
+    EXPECT_EQ(dist.diameter(), 1);
+}
+
+// --- parallel suite evaluation ----------------------------------------------
+
+TEST(parallel_eval, records_match_serial_order_and_values) {
+    const auto device = arch::aspen4();
+    core::suite_spec spec;
+    spec.arch_name = device.name;
+    spec.swap_counts = {2, 3};
+    spec.circuits_per_count = 2;
+    spec.total_two_qubit_gates = 50;
+    spec.base_seed = 9;
+    const auto s = core::generate_suite(device, spec);
+
+    eval::toolbox_options toolbox;
+    toolbox.sabre_trials = 2;
+    toolbox.sabre.threads = 1;  // parallelism lives at the suite level here
+    const auto tools = eval::paper_toolbox(toolbox);
+
+    const auto serial = eval::evaluate_suite(s, device, tools, 1);
+    const auto parallel = eval::evaluate_suite(s, device, tools, 4);
+
+    EXPECT_EQ(parallel.invalid_runs, serial.invalid_runs);
+    ASSERT_EQ(parallel.records.size(), serial.records.size());
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+        EXPECT_EQ(parallel.records[i].tool, serial.records[i].tool) << i;
+        EXPECT_EQ(parallel.records[i].designed_swaps, serial.records[i].designed_swaps)
+            << i;
+        EXPECT_EQ(parallel.records[i].measured_swaps, serial.records[i].measured_swaps)
+            << i;
+        EXPECT_EQ(parallel.records[i].valid, serial.records[i].valid) << i;
+        EXPECT_DOUBLE_EQ(parallel.records[i].depth_ratio, serial.records[i].depth_ratio)
+            << i;
+    }
+    ASSERT_EQ(parallel.cells.size(), serial.cells.size());
+    for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+        EXPECT_EQ(parallel.cells[i].tool, serial.cells[i].tool) << i;
+        EXPECT_DOUBLE_EQ(parallel.cells[i].swap_ratio, serial.cells[i].swap_ratio) << i;
+    }
+}
+
+}  // namespace
+}  // namespace qubikos
