@@ -23,6 +23,7 @@
 #include "circuit/mapping.hpp"
 #include "core/qubikos.hpp"
 #include "graph/distance.hpp"
+#include "router/common.hpp"
 #include "router/sabre.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
@@ -114,6 +115,35 @@ json::value time_route_pass(int reps, std::size_t gates) {
                         {"seconds", seconds}};
 }
 
+json::value time_candidate_swaps(int reps, std::size_t gates) {
+    // One representative decision point: the initial front layer of a
+    // sycamore-sized instance under the identity mapping. The routers
+    // call candidate_swaps once per emitted swap, so per-call cost is
+    // the number that matters; `calls` per rep amortizes timer overhead.
+    const auto device = arch::sycamore54();
+    const auto instance = make_instance(device, 10, gates);
+    const gate_dag dag(instance.logical);
+    const router::dag_frontier frontier(dag);
+    const mapping current =
+        mapping::identity(instance.logical.num_qubits(), device.num_qubits());
+    const int calls = 2000;
+    std::vector<edge> out;  // reused across calls, as in the routers
+    const double seconds = best_seconds(reps, [&] {
+        for (int i = 0; i < calls; ++i) {
+            router::candidate_swaps(frontier.front(), dag, device.coupling, current, out);
+        }
+    });
+    const double per_call_us = seconds / calls * 1e6;
+    std::printf("  candidate_swaps  %-12s %9.3f us/call  (front %zu gates, %zu candidates)\n",
+                device.name.c_str(), per_call_us, frontier.front().size(), out.size());
+    return json::object{{"arch", device.name},
+                        {"front_gates", frontier.front().size()},
+                        {"candidates", out.size()},
+                        {"reps", reps},
+                        {"calls", calls},
+                        {"seconds_per_call", seconds / calls}};
+}
+
 json::array time_sabre_trials(std::size_t gates, int trials) {
     const auto device = arch::sycamore54();
     const auto instance = make_instance(device, 10, gates);
@@ -173,6 +203,7 @@ int run_timed_sections() {
         static_cast<std::size_t>(std::thread::hardware_concurrency());
     doc["resolved_threads"] = thread_pool::resolve_threads(0);
     doc["distance_matrix"] = time_distance_matrix(reps);
+    doc["candidate_swaps"] = time_candidate_swaps(reps, gates);
     doc["route_pass"] = time_route_pass(reps, gates);
     doc["route_sabre_trials"] = time_sabre_trials(gates, 32);
 

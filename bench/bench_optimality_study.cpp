@@ -5,18 +5,22 @@
 // OLSQ2 (exact SAT-based QLS) confirmed every circuit requires exactly
 // its designed SWAP count, with no deviations.
 //
-// This bench regenerates that experiment with our generator and our exact
-// solver: each instance must be SAT at n and UNSAT at n-1. The expected
-// result, as in the paper, is 100% confirmation.
+// The bench runs that experiment as a certify-mode campaign: each
+// instance must be SAT at n and UNSAT at n-1 (plus pass the structural
+// verifier), results stream into a persistent store under
+// bench_results/campaign/, and an interrupted paper-scale run (800 exact
+// solves) resumes instead of restarting. Instances solve in parallel on
+// QUBIKOS_THREADS; solve times are per-record thread-CPU seconds. The
+// expected result, as in the paper, is 100% confirmation.
 #include <cstdio>
 
-#include "arch/architectures.hpp"
 #include "bench_common.hpp"
-#include "core/qubikos.hpp"
-#include "core/verifier.hpp"
-#include "exact/olsq.hpp"
-#include "util/stopwatch.hpp"
+#include "campaign/merge.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/worker.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
     using namespace qubikos;
@@ -29,56 +33,61 @@ int main() {
         case bench::scale::standard: per_count = 25; break;
         case bench::scale::paper: per_count = 100; break;
     }
-    std::printf("config: %d circuits per (arch, n), n in 1..4, <=30 two-qubit gates\n\n",
-                per_count);
 
-    ascii_table table({"arch", "designed n", "circuits", "SAT at n", "UNSAT at n-1",
-                       "structure ok", "avg solve s"});
-    csv::writer raw({"arch", "designed_n", "index", "sat_at_n", "unsat_below", "seconds"});
-
-    bool all_confirmed = true;
-    for (const auto& device : {arch::aspen4(), arch::grid(3, 3)}) {
-        for (int swaps = 1; swaps <= 4; ++swaps) {
-            int sat_at_n = 0;
-            int unsat_below = 0;
-            int structure_ok = 0;
-            double total_seconds = 0.0;
-            for (int i = 0; i < per_count; ++i) {
-                core::generator_options options;
-                options.num_swaps = swaps;
-                options.total_two_qubit_gates = 30;
-                options.seed = static_cast<std::uint64_t>(swaps) * 100000 + i;
-                const auto instance = core::generate(device, options);
-
-                if (core::verify_structure(instance, device).valid) ++structure_ok;
-
-                stopwatch timer;
-                const auto feasible_at_n =
-                    exact::check_swap_count(instance.logical, device.coupling, swaps);
-                const auto infeasible_below =
-                    swaps == 0 ? exact::feasibility::infeasible
-                               : exact::check_swap_count(instance.logical, device.coupling,
-                                                         swaps - 1);
-                const double seconds = timer.seconds();
-                total_seconds += seconds;
-
-                const bool sat = feasible_at_n == exact::feasibility::feasible;
-                const bool unsat = infeasible_below == exact::feasibility::infeasible;
-                if (sat) ++sat_at_n;
-                if (unsat) ++unsat_below;
-                raw.add(device.name, swaps, i, sat ? 1 : 0, unsat ? 1 : 0, seconds);
-            }
-            all_confirmed = all_confirmed && sat_at_n == per_count &&
-                            unsat_below == per_count && structure_ok == per_count;
-            table.add(device.name, swaps, per_count,
-                      std::to_string(sat_at_n) + "/" + std::to_string(per_count),
-                      std::to_string(unsat_below) + "/" + std::to_string(per_count),
-                      std::to_string(structure_ok) + "/" + std::to_string(per_count),
-                      ascii_table::num(total_seconds / per_count, 3));
-        }
+    campaign::campaign_spec spec;
+    spec.name = "optimality_study";
+    spec.mode = campaign::campaign_mode::certify;
+    for (const char* arch_name : {"aspen4", "grid3x3"}) {
+        core::suite_spec suite;
+        suite.arch_name = arch_name;
+        suite.swap_counts = {1, 2, 3, 4};
+        suite.circuits_per_count = per_count;
+        suite.total_two_qubit_gates = 30;
+        suite.base_seed = 20250613;
+        spec.suites.push_back(suite);
     }
 
-    std::printf("%s\n", table.str().c_str());
+    const auto plan = campaign::expand_plan(spec);
+    const std::string store_dir =
+        "bench_results/campaign/" + spec.name + "_" + campaign::spec_fingerprint(spec);
+    std::printf("config: %d circuits per (arch, n), n in 1..4, <=30 two-qubit gates\n", per_count);
+    std::printf("campaign store: %s (%zu units, %zu threads)\n\n", store_dir.c_str(),
+                plan.units.size(), thread_pool::resolve_threads(0));
+
+    campaign::worker_options worker;
+    worker.threads = 0;
+    const auto shard = campaign::run_campaign_shard(plan, store_dir, worker);
+    if (shard.skipped != 0) {
+        std::printf("resumed: %zu/%zu units already in the store\n\n", shard.skipped,
+                    shard.assigned);
+    }
+    const auto merged = campaign::merge_stores(plan, {store_dir});
+    if (!merged.complete()) {
+        std::printf("ERROR: %zu units missing from the store\n", merged.missing.size());
+        return 1;
+    }
+
+    // The deterministic confirmation tables, straight from the campaign
+    // report; timing is summarized separately below (CPU seconds are
+    // excluded from reports so shard merges stay byte-comparable).
+    std::printf("%s", campaign::render_report(plan, merged).c_str());
+
+    csv::writer raw({"arch", "designed_n", "instance", "sat_at_n", "unsat_below", "structure_ok",
+                     "cpu_seconds"});
+    double total_seconds = 0.0;
+    for (std::size_t i = 0; i < merged.runs.size(); ++i) {
+        const auto& run = merged.runs[i];
+        const auto& unit = plan.units[i];
+        raw.add(spec.suites[unit.suite_index].arch_name, run.record.designed_swaps,
+                unit.instance_index, run.sat_at_n, run.unsat_below, run.structure_ok,
+                run.record.seconds);
+        total_seconds += run.record.seconds;
+    }
+    std::printf("avg exact-solve time: %.3f cpu-s over %zu instances\n",
+                merged.runs.empty() ? 0.0 : total_seconds / merged.runs.size(),
+                merged.runs.size());
+
+    const bool all_confirmed = merged.invalid_runs == 0;
     std::printf("paper result:    every circuit confirmed at exactly its designed count\n");
     std::printf("measured result: %s\n",
                 all_confirmed ? "every circuit confirmed at exactly its designed count"

@@ -7,6 +7,15 @@
 //
 // Scaled-down defaults preserve the shape (tool ordering and growth with
 // architecture size); the banner states the exact configuration used.
+//
+// The bench drives the campaign engine rather than a one-shot
+// evaluate_suite call: every (instance, tool) result streams into a
+// persistent store under bench_results/campaign/, so an interrupted
+// paper-scale run resumes from the last fsync'd batch instead of
+// restarting. The (tool x instance) grid runs suite-level parallel on
+// QUBIKOS_THREADS with the tools serial; per-record `seconds` is
+// thread-CPU time, so the timing column is contention-free at any thread
+// count.
 #pragma once
 
 #include <cstdio>
@@ -15,9 +24,12 @@
 
 #include "arch/architectures.hpp"
 #include "bench_common.hpp"
-#include "core/suite.hpp"
+#include "campaign/merge.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/worker.hpp"
 #include "eval/harness.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace qubikos::bench {
 
@@ -57,33 +69,49 @@ inline int run_fig4(const fig4_config& config) {
         sabre_trials = 24;
     }
 
-    core::suite_spec spec;
-    spec.arch_name = config.device.name;
-    spec.swap_counts = {5, 10, 15, 20};
-    spec.circuits_per_count = per_count;
-    spec.total_two_qubit_gates = config.gate_target;
-    spec.base_seed = 20250611;
+    campaign::campaign_spec spec;
+    spec.name = "fig4_" + config.device.name;
+    spec.sabre_trials = sabre_trials;
+    core::suite_spec suite;
+    suite.arch_name = config.device.name;
+    suite.swap_counts = {5, 10, 15, 20};
+    suite.circuits_per_count = per_count;
+    suite.total_two_qubit_gates = config.gate_target;
+    suite.base_seed = 20250611;
+    spec.suites.push_back(suite);
 
+    const auto plan = campaign::expand_plan(spec);
+    // One store per configuration: the fingerprint separates scales, so
+    // a half-finished paper-scale store survives intermediate smoke runs.
+    const std::string store_dir =
+        "bench_results/campaign/" + spec.name + "_" + campaign::spec_fingerprint(spec);
+
+    campaign::worker_options worker;
+    worker.threads = 0;  // suite-level parallelism; tools stay serial
     std::printf("config: %d circuits per swap count, %zu-gate targets, sabre trials %d "
-                "(paper: 10 circuits, 1000 trials)\n\n",
+                "(paper: 10 circuits, 1000 trials)\n",
                 per_count, config.gate_target, sabre_trials);
+    std::printf("campaign store: %s (%zu units, %zu threads)\n\n", store_dir.c_str(),
+                plan.units.size(), thread_pool::resolve_threads(0));
 
-    const core::suite s = core::generate_suite(config.device, spec);
-
-    eval::toolbox_options toolbox;
-    toolbox.sabre_trials = sabre_trials;
-    const auto tools = eval::paper_toolbox(toolbox);
-    const auto result = eval::evaluate_suite(s, config.device, tools);
-
-    if (result.invalid_runs != 0) {
-        std::printf("ERROR: %d invalid routed circuits\n", result.invalid_runs);
+    const auto shard = campaign::run_campaign_shard(plan, store_dir, worker);
+    if (shard.skipped != 0) {
+        std::printf("resumed: %zu/%zu units already in the store\n\n", shard.skipped,
+                    shard.assigned);
+    }
+    const auto merged = campaign::merge_stores(plan, {store_dir});
+    if (merged.invalid_runs != 0 || !merged.complete()) {
+        std::printf("ERROR: %d invalid routed circuits, %zu missing units\n",
+                    merged.invalid_runs, merged.missing.size());
         return 1;
     }
+    const auto cells = eval::aggregate(campaign::merged_records(merged));
 
-    ascii_table table({"tool", "designed n", "avg swaps", "swap ratio", "depth ratio", "avg s"});
+    ascii_table table(
+        {"tool", "designed n", "avg swaps", "swap ratio", "depth ratio", "avg cpu-s"});
     csv::writer raw(
-        {"tool", "designed_n", "avg_swaps", "swap_ratio", "depth_ratio", "avg_seconds"});
-    for (const auto& cell : result.cells) {
+        {"tool", "designed_n", "avg_swaps", "swap_ratio", "depth_ratio", "avg_cpu_seconds"});
+    for (const auto& cell : cells) {
         table.add(cell.tool, cell.designed_swaps, ascii_table::num(cell.average_swaps, 1),
                   ascii_table::num(cell.swap_ratio, 2) + "x",
                   ascii_table::num(cell.average_depth_ratio, 2) + "x",
@@ -94,10 +122,9 @@ inline int run_fig4(const fig4_config& config) {
     std::printf("%s\n", table.str().c_str());
 
     ascii_table summary({"tool", "measured mean gap", "paper-reported gap"});
-    for (const auto& tool : tools) {
-        const auto it = config.paper_gaps.find(tool.name);
-        summary.add(tool.name,
-                    ascii_table::num(eval::mean_ratio(result.cells, tool.name), 2) + "x",
+    for (const auto& tool : campaign::resolved_tool_names(spec)) {
+        const auto it = config.paper_gaps.find(tool);
+        summary.add(tool, ascii_table::num(eval::mean_ratio(cells, tool), 2) + "x",
                     it != config.paper_gaps.end() ? it->second : std::string("-"));
     }
     std::printf("%s\n", summary.str().c_str());

@@ -6,14 +6,27 @@
 //   qubikos_cli verify <suite_dir>
 //   qubikos_cli certify <suite_dir> [conflict_limit]
 //   qubikos_cli route <tool> <arch> <circuit.qasm> [trials]
+//   qubikos_cli campaign init <spec.json>
+//   qubikos_cli campaign plan <spec.json> [num_shards]
+//   qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]
+//                            [--threads t] [--max-units m] [--batch b] [-v]
+//   qubikos_cli campaign merge <spec.json> <out_store> <in_store>...
+//   qubikos_cli campaign report <spec.json> <store>...
 //
 // Tools: lightsabre | mlqls | qmap | tket.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "arch/architectures.hpp"
+#include "campaign/merge.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+#include "campaign/worker.hpp"
 #include "circuit/qasm.hpp"
 #include "core/qubikos.hpp"
 #include "core/suite.hpp"
@@ -34,7 +47,13 @@ int usage() {
                  "  qubikos_cli suite <arch> <out_dir> [gates] [per_count] [seed]\n"
                  "  qubikos_cli verify <suite_dir>\n"
                  "  qubikos_cli certify <suite_dir> [conflict_limit]\n"
-                 "  qubikos_cli route <tool> <arch> <circuit.qasm> [trials]\n");
+                 "  qubikos_cli route <tool> <arch> <circuit.qasm> [trials]\n"
+                 "  qubikos_cli campaign init <spec.json>\n"
+                 "  qubikos_cli campaign plan <spec.json> [num_shards]\n"
+                 "  qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]\n"
+                 "                           [--threads t] [--max-units m] [--batch b] [-v]\n"
+                 "  qubikos_cli campaign merge <spec.json> <out_store> <in_store>...\n"
+                 "  qubikos_cli campaign report <spec.json> <store>...\n");
     return 2;
 }
 
@@ -161,6 +180,115 @@ int cmd_route(int argc, char** argv) {
     return 2;
 }
 
+// --- campaign subcommands ---------------------------------------------------
+
+int cmd_campaign_init(int argc, char** argv) {
+    if (argc < 4) return usage();
+    const auto spec = campaign::example_spec();
+    campaign::save_spec(spec, argv[3]);
+    const auto plan = campaign::expand_plan(spec);
+    std::printf("wrote example spec '%s' to %s (%zu work units)\n", spec.name.c_str(), argv[3],
+                plan.units.size());
+    return 0;
+}
+
+int cmd_campaign_plan(int argc, char** argv) {
+    if (argc < 4) return usage();
+    const auto spec = campaign::load_spec(argv[3]);
+    const auto plan = campaign::expand_plan(spec);
+    const int num_shards = argc > 4 ? std::atoi(argv[4]) : 1;
+    if (num_shards < 1) {
+        std::fprintf(stderr, "bad shard count '%s' (expected a positive integer)\n", argv[4]);
+        return 2;
+    }
+    std::printf("campaign '%s' (mode %s, fingerprint %s)\n", spec.name.c_str(),
+                campaign::mode_name(spec.mode), campaign::spec_fingerprint(spec).c_str());
+    std::printf("%zu work units over %zu suites\n", plan.units.size(), spec.suites.size());
+    for (int shard = 0; shard < num_shards; ++shard) {
+        const auto indices = campaign::shard_indices(plan.units.size(), shard, num_shards);
+        std::printf("  shard %d/%d: %zu units", shard, num_shards, indices.size());
+        if (!indices.empty()) {
+            std::printf("  (%s ... %s)", plan.units[indices.front()].id.c_str(),
+                        plan.units[indices.back()].id.c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int cmd_campaign_run(int argc, char** argv) {
+    if (argc < 5) return usage();
+    const auto spec = campaign::load_spec(argv[3]);
+    const std::string store_dir = argv[4];
+    campaign::worker_options options;
+    options.threads = 0;  // auto: QUBIKOS_THREADS / hardware_concurrency
+    for (int i = 5; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--shard" && i + 1 < argc) {
+            if (std::sscanf(argv[++i], "%d/%d", &options.shard, &options.num_shards) != 2) {
+                std::fprintf(stderr, "bad --shard (expected k/n)\n");
+                return 2;
+            }
+        } else if (arg == "--threads" && i + 1 < argc) {
+            options.threads = std::atoi(argv[++i]);
+        } else if (arg == "--max-units" && i + 1 < argc) {
+            options.max_units = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--batch" && i + 1 < argc) {
+            options.batch_size = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "-v" || arg == "--verbose") {
+            options.verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown campaign run option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    const auto plan = campaign::expand_plan(spec);
+    stopwatch timer;
+    const auto report = campaign::run_campaign_shard(plan, store_dir, options);
+    std::printf(
+        "shard %d/%d: %zu assigned, %zu resumed (skipped), %zu executed, %zu remaining, "
+        "%d invalid (%.2fs)\n",
+        options.shard, options.num_shards, report.assigned, report.skipped, report.executed,
+        report.remaining, report.invalid_runs, timer.seconds());
+    return report.invalid_runs == 0 ? 0 : 1;
+}
+
+int cmd_campaign_merge(int argc, char** argv) {
+    if (argc < 6) return usage();
+    const auto spec = campaign::load_spec(argv[3]);
+    const auto plan = campaign::expand_plan(spec);
+    std::vector<std::string> stores;
+    for (int i = 5; i < argc; ++i) stores.emplace_back(argv[i]);
+    const auto merged = campaign::merge_stores(plan, stores);
+    campaign::write_merged_store(merged, spec, argv[4]);
+    std::printf("merged %zu stores: %zu/%zu units (%zu duplicates dropped, %zu missing) -> %s\n",
+                stores.size(), merged.runs.size(), plan.units.size(), merged.duplicates,
+                merged.missing.size(), argv[4]);
+    return merged.complete() ? 0 : 1;
+}
+
+int cmd_campaign_report(int argc, char** argv) {
+    if (argc < 5) return usage();
+    const auto spec = campaign::load_spec(argv[3]);
+    const auto plan = campaign::expand_plan(spec);
+    std::vector<std::string> stores;
+    for (int i = 4; i < argc; ++i) stores.emplace_back(argv[i]);
+    const auto merged = campaign::merge_stores(plan, stores);
+    const std::string report = campaign::render_report(plan, merged);
+    std::fputs(report.c_str(), stdout);
+    return merged.complete() ? 0 : 1;
+}
+
+int cmd_campaign(int argc, char** argv) {
+    if (argc < 3) return usage();
+    if (std::strcmp(argv[2], "init") == 0) return cmd_campaign_init(argc, argv);
+    if (std::strcmp(argv[2], "plan") == 0) return cmd_campaign_plan(argc, argv);
+    if (std::strcmp(argv[2], "run") == 0) return cmd_campaign_run(argc, argv);
+    if (std::strcmp(argv[2], "merge") == 0) return cmd_campaign_merge(argc, argv);
+    if (std::strcmp(argv[2], "report") == 0) return cmd_campaign_report(argc, argv);
+    return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +300,7 @@ int main(int argc, char** argv) {
         if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);
         if (std::strcmp(argv[1], "certify") == 0) return cmd_certify(argc, argv);
         if (std::strcmp(argv[1], "route") == 0) return cmd_route(argc, argv);
+        if (std::strcmp(argv[1], "campaign") == 0) return cmd_campaign(argc, argv);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -1,0 +1,89 @@
+#include "campaign/merge.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qubikos::campaign {
+
+namespace {
+
+/// Every field two runs of the same unit must agree on (seconds is
+/// thread-CPU time and legitimately varies).
+bool deterministic_fields_agree(const stored_run& a, const stored_run& b) {
+    return a.record.tool == b.record.tool &&
+           a.record.designed_swaps == b.record.designed_swaps &&
+           a.record.measured_swaps == b.record.measured_swaps &&
+           a.record.valid == b.record.valid &&
+           // depth_ratio round-trips JSON exactly (%.17g), so equality is
+           // meaningful; tolerate only the last-ulp of a double division.
+           std::abs(a.record.depth_ratio - b.record.depth_ratio) < 1e-12 &&
+           a.sat_at_n == b.sat_at_n && a.unsat_below == b.unsat_below &&
+           a.structure_ok == b.structure_ok;
+}
+
+}  // namespace
+
+merged_campaign merge_stores(const campaign_plan& plan,
+                             const std::vector<std::string>& store_dirs) {
+    std::unordered_map<std::string, stored_run> by_id;
+    by_id.reserve(plan.units.size());
+    merged_campaign merged;
+
+    const std::string fingerprint = spec_fingerprint(plan.spec);
+    for (const auto& dir : store_dirs) {
+        // The write path locks a store to its spec; the read path must
+        // enforce the same thing, or results from a different experiment
+        // whose unit IDs happen to collide (e.g. same suites, different
+        // trial count) would silently mix into the report.
+        const std::string stored = result_store::load_meta_fingerprint(dir);
+        if (stored != fingerprint) {
+            throw std::runtime_error("campaign: store " + dir +
+                                     " belongs to a different spec (fingerprint " + stored +
+                                     " != " + fingerprint + ")");
+        }
+        for (auto& run : result_store::load_runs(dir)) {
+            const auto it = by_id.find(run.unit_id);
+            if (it == by_id.end()) {
+                by_id.emplace(run.unit_id, std::move(run));
+                continue;
+            }
+            if (!deterministic_fields_agree(it->second, run)) {
+                throw std::runtime_error(
+                    "campaign: conflicting records for unit " + run.unit_id + " (store " + dir +
+                    " disagrees with an earlier store on a deterministic field)");
+            }
+            ++merged.duplicates;
+        }
+    }
+
+    merged.runs.reserve(plan.units.size());
+    for (const auto& unit : plan.units) {
+        const auto it = by_id.find(unit.id);
+        if (it == by_id.end()) {
+            merged.missing.push_back(unit.id);
+            continue;
+        }
+        if (!it->second.record.valid) ++merged.invalid_runs;
+        merged.runs.push_back(it->second);
+    }
+    return merged;
+}
+
+void write_merged_store(const merged_campaign& merged, const campaign_spec& spec,
+                        const std::string& directory) {
+    result_store store(directory, spec);
+    for (const auto& run : merged.runs) {
+        if (!store.is_complete(run.unit_id)) store.append(run);
+    }
+    store.flush();
+}
+
+std::vector<eval::run_record> merged_records(const merged_campaign& merged) {
+    std::vector<eval::run_record> records;
+    records.reserve(merged.runs.size());
+    for (const auto& run : merged.runs) records.push_back(run.record);
+    return records;
+}
+
+}  // namespace qubikos::campaign

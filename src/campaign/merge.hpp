@@ -1,0 +1,48 @@
+// Merger: combines one or more result stores back into the plan order.
+//
+// Shards (or repeated, partially overlapping runs) each produced a store;
+// the merger loads them all, drops duplicate unit IDs, verifies that any
+// duplicates agree on every deterministic field (two honest runs of the
+// same unit can only differ in CPU seconds — a disagreement means the
+// stores came from diverging builds or a corrupted file, and is a hard
+// error), and emits the surviving records ordered exactly as a
+// single-process evaluation would have produced them. Aggregating the
+// merged records therefore reproduces the serial tables byte for byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/store.hpp"
+
+namespace qubikos::campaign {
+
+struct merged_campaign {
+    /// One entry per completed plan unit, in plan (= serial) order.
+    std::vector<stored_run> runs;
+    /// IDs of plan units no store had a record for, in plan order.
+    std::vector<std::string> missing;
+    /// Duplicate records dropped (consistent repeats across stores).
+    std::size_t duplicates = 0;
+    int invalid_runs = 0;
+
+    [[nodiscard]] bool complete() const { return missing.empty(); }
+};
+
+/// Loads and merges `store_dirs` against the plan. Every input store's
+/// meta.json fingerprint must match the plan's spec (stores from a
+/// different experiment throw, mirroring the write-path lock);
+/// conflicting duplicates throw.
+[[nodiscard]] merged_campaign merge_stores(const campaign_plan& plan,
+                                           const std::vector<std::string>& store_dirs);
+
+/// Writes a merged result back out as a normal single store (meta.json +
+/// runs.jsonl in plan order), usable by report/resume like any other.
+void write_merged_store(const merged_campaign& merged, const campaign_spec& spec,
+                        const std::string& directory);
+
+/// The records alone, for eval::aggregate and friends.
+[[nodiscard]] std::vector<eval::run_record> merged_records(const merged_campaign& merged);
+
+}  // namespace qubikos::campaign

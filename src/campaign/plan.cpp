@@ -1,0 +1,56 @@
+#include "campaign/plan.hpp"
+
+#include <stdexcept>
+
+namespace qubikos::campaign {
+
+campaign_plan expand_plan(const campaign_spec& spec) {
+    if (spec.suites.empty()) throw std::invalid_argument("campaign: spec has no suites");
+    campaign_plan plan;
+    plan.spec = spec;
+    const std::vector<std::string> tools = resolved_tool_names(spec);
+
+    for (std::size_t suite_index = 0; suite_index < spec.suites.size(); ++suite_index) {
+        const core::suite_spec& suite = spec.suites[suite_index];
+        if (suite.swap_counts.empty() || suite.circuits_per_count <= 0) {
+            throw std::invalid_argument("campaign: empty suite in spec");
+        }
+        // Mirrors core::generate_suite: instance k gets seed base_seed + k,
+        // counts iterate outer, circuits inner.
+        std::size_t instance_index = 0;
+        for (const int swaps : suite.swap_counts) {
+            for (int i = 0; i < suite.circuits_per_count; ++i) {
+                const std::uint64_t seed = suite.base_seed + instance_index;
+                for (const auto& tool : tools) {
+                    work_unit unit;
+                    unit.id = "u" + std::to_string(suite_index) + ":" + suite.arch_name + ":n" +
+                              std::to_string(swaps) + ":i" + std::to_string(i) + ":seed" +
+                              std::to_string(seed) + ":" + tool;
+                    unit.suite_index = suite_index;
+                    unit.instance_index = instance_index;
+                    unit.tool = tool;
+                    unit.designed_swaps = swaps;
+                    unit.instance_seed = seed;
+                    plan.units.push_back(std::move(unit));
+                }
+                ++instance_index;
+            }
+        }
+    }
+    return plan;
+}
+
+std::vector<std::size_t> shard_indices(std::size_t num_units, int shard, int num_shards) {
+    if (num_shards < 1) throw std::invalid_argument("campaign: num_shards must be >= 1");
+    if (shard < 0 || shard >= num_shards) {
+        throw std::invalid_argument("campaign: shard must be in [0, num_shards)");
+    }
+    std::vector<std::size_t> out;
+    for (std::size_t i = static_cast<std::size_t>(shard); i < num_units;
+         i += static_cast<std::size_t>(num_shards)) {
+        out.push_back(i);
+    }
+    return out;
+}
+
+}  // namespace qubikos::campaign

@@ -1,0 +1,151 @@
+#include "campaign/report.hpp"
+
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "util/table.hpp"
+
+namespace qubikos::campaign {
+
+namespace {
+
+std::string suite_banner(std::size_t index, const core::suite_spec& suite) {
+    std::string counts;
+    for (const int c : suite.swap_counts) {
+        if (!counts.empty()) counts += ",";
+        counts += std::to_string(c);
+    }
+    return "suite " + std::to_string(index) + ": " + suite.arch_name + " (counts {" + counts +
+           "} x " + std::to_string(suite.circuits_per_count) + ", " +
+           std::to_string(suite.total_two_qubit_gates) + "-gate padding, seed " +
+           std::to_string(suite.base_seed) + ")\n";
+}
+
+void render_tools_suite(const core::suite_spec& suite, std::size_t index,
+                        const std::vector<eval::run_record>& records,
+                        const std::vector<std::string>& tools, std::string& out,
+                        std::vector<eval::ratio_cell>& all_cells) {
+    out += suite_banner(index, suite);
+    if (records.empty()) {
+        out += "  (no records)\n\n";
+        return;
+    }
+    const auto cells = eval::aggregate(records);
+    ascii_table table({"tool", "designed n", "runs", "avg swaps", "swap ratio", "depth ratio"});
+    for (const auto& cell : cells) {
+        table.add(cell.tool, cell.designed_swaps, cell.runs,
+                  ascii_table::num(cell.average_swaps, 2),
+                  ascii_table::num(cell.swap_ratio, 4) + "x",
+                  ascii_table::num(cell.average_depth_ratio, 4) + "x");
+    }
+    out += table.str();
+
+    ascii_table gaps({"tool", "mean gap", "geomean gap"});
+    for (const auto& tool : tools) {
+        bool present = false;
+        for (const auto& cell : cells) present = present || cell.tool == tool;
+        if (!present) continue;
+        gaps.add(tool, ascii_table::num(eval::mean_ratio(cells, tool), 4) + "x",
+                 ascii_table::num(eval::geomean_ratio(cells, tool), 4) + "x");
+    }
+    out += gaps.str();
+    out += "\n";
+    all_cells.insert(all_cells.end(), cells.begin(), cells.end());
+}
+
+void render_certify_suite(const core::suite_spec& suite, std::size_t index,
+                          const std::vector<stored_run>& runs, std::string& out) {
+    out += suite_banner(index, suite);
+    // Per designed count: recorded / SAT at n / UNSAT at n-1 / structure /
+    // fully confirmed.
+    std::map<int, std::array<int, 5>> counts;
+    for (const auto& run : runs) {
+        auto& c = counts[run.record.designed_swaps];
+        ++c[0];
+        if (run.sat_at_n == 1) ++c[1];
+        if (run.unsat_below == 1) ++c[2];
+        if (run.structure_ok == 1) ++c[3];
+        if (run.record.valid) ++c[4];
+    }
+    ascii_table table(
+        {"designed n", "circuits", "SAT at n", "UNSAT at n-1", "structure ok", "confirmed"});
+    for (const auto& [n, c] : counts) {
+        table.add(n, c[0], std::to_string(c[1]) + "/" + std::to_string(c[0]),
+                  std::to_string(c[2]) + "/" + std::to_string(c[0]),
+                  std::to_string(c[3]) + "/" + std::to_string(c[0]),
+                  std::to_string(c[4]) + "/" + std::to_string(c[0]));
+    }
+    out += table.str();
+    out += "\n";
+}
+
+}  // namespace
+
+std::string render_report(const campaign_plan& plan, const merged_campaign& merged) {
+    const campaign_spec& spec = plan.spec;
+    std::string out;
+    out += "campaign report: " + spec.name + " (mode " + mode_name(spec.mode) + ", fingerprint " +
+           spec_fingerprint(spec) + ")\n";
+    out += "units: " + std::to_string(merged.runs.size()) + "/" +
+           std::to_string(plan.units.size()) + " recorded, " +
+           std::to_string(merged.invalid_runs) + " invalid, " +
+           std::to_string(merged.missing.size()) + " missing\n";
+    if (!merged.missing.empty()) {
+        out += "first missing:";
+        for (std::size_t i = 0; i < merged.missing.size() && i < 5; ++i) {
+            out += " " + merged.missing[i];
+        }
+        out += "\n";
+    }
+    out += "\n";
+
+    // Group the plan-ordered runs by suite. merged.runs omits missing
+    // units, so walk both sequences by unit ID.
+    std::unordered_map<std::string, std::size_t> suite_of;
+    suite_of.reserve(plan.units.size());
+    for (const auto& unit : plan.units) suite_of.emplace(unit.id, unit.suite_index);
+    std::vector<std::vector<stored_run>> per_suite(spec.suites.size());
+    for (const auto& run : merged.runs) {
+        per_suite[suite_of.at(run.unit_id)].push_back(run);
+    }
+
+    if (spec.mode == campaign_mode::certify) {
+        int confirmed = 0;
+        for (const auto& run : merged.runs) {
+            if (run.record.valid) ++confirmed;
+        }
+        for (std::size_t i = 0; i < spec.suites.size(); ++i) {
+            render_certify_suite(spec.suites[i], i, per_suite[i], out);
+        }
+        out += "confirmed " + std::to_string(confirmed) + "/" +
+               std::to_string(merged.runs.size()) +
+               " (paper: every circuit confirmed at exactly its designed count)\n";
+        return out;
+    }
+
+    const std::vector<std::string> tools = resolved_tool_names(spec);
+    std::vector<eval::ratio_cell> all_cells;
+    for (std::size_t i = 0; i < spec.suites.size(); ++i) {
+        std::vector<eval::run_record> records;
+        records.reserve(per_suite[i].size());
+        for (const auto& run : per_suite[i]) records.push_back(run.record);
+        render_tools_suite(spec.suites[i], i, records, tools, out, all_cells);
+    }
+
+    if (spec.suites.size() > 1 && !all_cells.empty()) {
+        out += "overall optimality gaps (all suites):\n";
+        ascii_table overall({"tool", "mean gap", "geomean gap"});
+        for (const auto& tool : tools) {
+            bool present = false;
+            for (const auto& cell : all_cells) present = present || cell.tool == tool;
+            if (!present) continue;
+            overall.add(tool, ascii_table::num(eval::mean_ratio(all_cells, tool), 4) + "x",
+                        ascii_table::num(eval::geomean_ratio(all_cells, tool), 4) + "x");
+        }
+        out += overall.str();
+    }
+    return out;
+}
+
+}  // namespace qubikos::campaign

@@ -1,0 +1,150 @@
+#include "campaign/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qubikos::campaign {
+
+namespace {
+
+const std::vector<std::string>& paper_tool_names() {
+    static const std::vector<std::string> names = {"lightsabre", "mlqls", "qmap", "tket"};
+    return names;
+}
+
+json::value suite_spec_to_json(const core::suite_spec& spec) {
+    json::object o;
+    o["arch"] = spec.arch_name;
+    json::array counts;
+    for (const int c : spec.swap_counts) counts.push_back(c);
+    o["swap_counts"] = std::move(counts);
+    o["circuits_per_count"] = spec.circuits_per_count;
+    o["total_two_qubit_gates"] = spec.total_two_qubit_gates;
+    o["single_qubit_rate"] = spec.single_qubit_rate;
+    o["base_seed"] = static_cast<std::int64_t>(spec.base_seed);
+    return json::value(std::move(o));
+}
+
+core::suite_spec suite_spec_from_json(const json::value& v) {
+    core::suite_spec spec;
+    spec.arch_name = v.at("arch").as_string();
+    for (const auto& c : v.at("swap_counts").as_array()) spec.swap_counts.push_back(c.as_int());
+    spec.circuits_per_count = v.at("circuits_per_count").as_int();
+    spec.total_two_qubit_gates =
+        static_cast<std::size_t>(v.at("total_two_qubit_gates").as_number());
+    spec.single_qubit_rate = v.at("single_qubit_rate").as_number();
+    spec.base_seed = static_cast<std::uint64_t>(v.at("base_seed").as_number());
+    return spec;
+}
+
+}  // namespace
+
+const char* mode_name(campaign_mode mode) {
+    return mode == campaign_mode::tools ? "tools" : "certify";
+}
+
+campaign_mode mode_from_name(const std::string& name) {
+    if (name == "tools") return campaign_mode::tools;
+    if (name == "certify") return campaign_mode::certify;
+    throw std::invalid_argument("campaign: unknown mode '" + name + "' (tools|certify)");
+}
+
+json::value spec_to_json(const campaign_spec& spec) {
+    json::object o;
+    o["schema"] = "qubikos.campaign_spec.v1";
+    o["name"] = spec.name;
+    o["mode"] = mode_name(spec.mode);
+    json::array suites;
+    for (const auto& s : spec.suites) suites.push_back(suite_spec_to_json(s));
+    o["suites"] = std::move(suites);
+    json::array tools;
+    for (const auto& t : spec.tools) tools.push_back(t);
+    o["tools"] = std::move(tools);
+    o["sabre_trials"] = spec.sabre_trials;
+    o["toolbox_seed"] = static_cast<std::int64_t>(spec.toolbox_seed);
+    o["conflict_limit"] = static_cast<std::int64_t>(spec.conflict_limit);
+    return json::value(std::move(o));
+}
+
+campaign_spec spec_from_json(const json::value& v) {
+    if (v.at("schema").as_string() != "qubikos.campaign_spec.v1") {
+        throw std::invalid_argument("campaign: unsupported spec schema");
+    }
+    campaign_spec spec;
+    spec.name = v.at("name").as_string();
+    spec.mode = mode_from_name(v.at("mode").as_string());
+    for (const auto& s : v.at("suites").as_array()) spec.suites.push_back(suite_spec_from_json(s));
+    for (const auto& t : v.at("tools").as_array()) spec.tools.push_back(t.as_string());
+    spec.sabre_trials = v.at("sabre_trials").as_int();
+    spec.toolbox_seed = static_cast<std::uint64_t>(v.at("toolbox_seed").as_number());
+    spec.conflict_limit = static_cast<std::uint64_t>(v.at("conflict_limit").as_number());
+    return spec;
+}
+
+campaign_spec load_spec(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("campaign: cannot read spec file " + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return spec_from_json(json::parse(buffer.str()));
+}
+
+void save_spec(const campaign_spec& spec, const std::string& path) {
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream file(path);
+    if (!file) throw std::runtime_error("campaign: cannot write spec file " + path);
+    file << spec_to_json(spec).dump(2) << "\n";
+    if (!file.good()) throw std::runtime_error("campaign: write failed for " + path);
+}
+
+std::string spec_fingerprint(const campaign_spec& spec) {
+    const std::string canonical = spec_to_json(spec).dump();
+    std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a 64-bit
+    for (const char c : canonical) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::vector<std::string> resolved_tool_names(const campaign_spec& spec) {
+    if (spec.mode == campaign_mode::certify) return {"exact"};
+    if (spec.tools.empty()) return paper_tool_names();
+    const auto& known = paper_tool_names();
+    for (const auto& name : spec.tools) {
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+            throw std::invalid_argument("campaign: unknown tool '" + name + "'");
+        }
+    }
+    return spec.tools;
+}
+
+campaign_spec example_spec() {
+    campaign_spec spec;
+    spec.name = "mini";
+    spec.sabre_trials = 4;
+    core::suite_spec aspen;
+    aspen.arch_name = "aspen4";
+    aspen.swap_counts = {2, 3};
+    aspen.circuits_per_count = 2;
+    aspen.total_two_qubit_gates = 40;
+    aspen.base_seed = 7;
+    spec.suites.push_back(aspen);
+    core::suite_spec grid;
+    grid.arch_name = "grid3x3";
+    grid.swap_counts = {2, 3};
+    grid.circuits_per_count = 2;
+    grid.total_two_qubit_gates = 30;
+    grid.base_seed = 11;
+    spec.suites.push_back(grid);
+    return spec;
+}
+
+}  // namespace qubikos::campaign

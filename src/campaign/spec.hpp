@@ -1,0 +1,67 @@
+// Campaign specifications: the paper-scale experiment descriptions the
+// campaign engine executes (Sec. IV run configurations as data).
+//
+// A campaign_spec names a set of suites (one per architecture sweep), the
+// tools to run on them and the knobs (trial counts, seeds). It is pure
+// data with a canonical JSON form, so the same spec file drives
+//   qubikos_cli campaign plan | run | merge | report
+// and every process that touches a campaign — a shard worker on another
+// machine, the merger, a resumed run after a crash — can verify it is
+// working on the *same* experiment via a stable fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/suite.hpp"
+#include "util/json.hpp"
+
+namespace qubikos::campaign {
+
+/// What a work unit does:
+///   tools   — run a heuristic QLS tool and record its swap count
+///             (the Fig. 4 / Table II experiments);
+///   certify — run the exact solver at n and n-1 and record whether the
+///             designed count is confirmed (the Sec. IV-A study).
+enum class campaign_mode { tools, certify };
+
+struct campaign_spec {
+    std::string name = "campaign";
+    campaign_mode mode = campaign_mode::tools;
+    /// One entry per (architecture, sweep); expanded in order.
+    std::vector<core::suite_spec> suites;
+    /// Tool names to run (subset of the paper toolbox); empty = all four.
+    /// Ignored in certify mode (the single "exact" pseudo-tool runs).
+    std::vector<std::string> tools;
+    int sabre_trials = 32;
+    std::uint64_t toolbox_seed = 1;
+    /// Per-SAT-call conflict budget in certify mode (0 = unlimited).
+    std::uint64_t conflict_limit = 0;
+};
+
+[[nodiscard]] const char* mode_name(campaign_mode mode);
+[[nodiscard]] campaign_mode mode_from_name(const std::string& name);
+
+/// Canonical JSON form (round-trips exactly through spec_from_json).
+[[nodiscard]] json::value spec_to_json(const campaign_spec& spec);
+[[nodiscard]] campaign_spec spec_from_json(const json::value& v);
+
+[[nodiscard]] campaign_spec load_spec(const std::string& path);
+void save_spec(const campaign_spec& spec, const std::string& path);
+
+/// Stable 64-bit FNV-1a fingerprint of the canonical JSON form, as a hex
+/// string. Two processes agree on a fingerprint iff they run the same
+/// experiment; the result store refuses to mix fingerprints.
+[[nodiscard]] std::string spec_fingerprint(const campaign_spec& spec);
+
+/// The tool-name column of the plan: spec.tools (validated against the
+/// paper toolbox) or all four when empty; {"exact"} in certify mode.
+[[nodiscard]] std::vector<std::string> resolved_tool_names(const campaign_spec& spec);
+
+/// A small 2-architecture example spec (also used by the CI
+/// mini-campaign): aspen4 + grid3x3, swap counts {2,3}, 2 circuits per
+/// count, 40-gate padding, 4 SABRE trials.
+[[nodiscard]] campaign_spec example_spec();
+
+}  // namespace qubikos::campaign

@@ -1,0 +1,222 @@
+#include "campaign/store.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace qubikos::campaign {
+
+namespace {
+
+void fsync_file(std::FILE* file) {
+#if defined(_WIN32)
+    _commit(_fileno(file));
+#else
+    if (::fsync(fileno(file)) != 0) {
+        throw std::runtime_error(std::string("campaign: fsync failed: ") + std::strerror(errno));
+    }
+#endif
+}
+
+std::string read_file(const std::filesystem::path& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw std::runtime_error("campaign: cannot read " + path.string());
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+/// Splits runs.jsonl content into parsed records. Returns the byte
+/// length of the valid prefix (everything up to and including the last
+/// line that parsed). A line that fails to parse is tolerated only when
+/// nothing but that line follows it — the torn-tail signature of a crash
+/// mid-append; corruption earlier in the file throws.
+std::size_t parse_runs(const std::string& content, const std::string& path,
+                       std::vector<stored_run>& out) {
+    std::size_t offset = 0;
+    std::size_t valid_end = 0;
+    std::size_t line_number = 0;
+    while (offset < content.size()) {
+        std::size_t newline = content.find('\n', offset);
+        const bool final_line = newline == std::string::npos;
+        const std::size_t end = final_line ? content.size() : newline;
+        ++line_number;
+        const std::string line = content.substr(offset, end - offset);
+        const std::size_t next = final_line ? content.size() : newline + 1;
+        if (line.find_first_not_of(" \t\r") != std::string::npos) {
+            try {
+                out.push_back(run_from_json(json::parse(line)));
+            } catch (const std::exception&) {
+                if (next >= content.size()) return valid_end;  // torn tail: discard
+                throw std::runtime_error("campaign: corrupt record at " + path + ":" +
+                                         std::to_string(line_number));
+            }
+        }
+        valid_end = next;
+        offset = next;
+    }
+    return valid_end;
+}
+
+}  // namespace
+
+json::value run_to_json(const stored_run& run) {
+    json::object o;
+    o["unit_id"] = run.unit_id;
+    o["tool"] = run.record.tool;
+    o["designed_swaps"] = run.record.designed_swaps;
+    o["measured_swaps"] = run.record.measured_swaps;
+    o["seconds"] = run.record.seconds;
+    o["valid"] = run.record.valid;
+    o["depth_ratio"] = run.record.depth_ratio;
+    if (run.sat_at_n >= 0) o["sat_at_n"] = run.sat_at_n;
+    if (run.unsat_below >= 0) o["unsat_below"] = run.unsat_below;
+    if (run.structure_ok >= 0) o["structure_ok"] = run.structure_ok;
+    return json::value(std::move(o));
+}
+
+stored_run run_from_json(const json::value& v) {
+    stored_run run;
+    run.unit_id = v.at("unit_id").as_string();
+    run.record.tool = v.at("tool").as_string();
+    run.record.designed_swaps = v.at("designed_swaps").as_int();
+    run.record.measured_swaps = static_cast<std::size_t>(v.at("measured_swaps").as_number());
+    run.record.seconds = v.at("seconds").as_number();
+    run.record.valid = v.at("valid").as_bool();
+    run.record.depth_ratio = v.at("depth_ratio").as_number();
+    if (v.contains("sat_at_n")) run.sat_at_n = v.at("sat_at_n").as_int();
+    if (v.contains("unsat_below")) run.unsat_below = v.at("unsat_below").as_int();
+    if (v.contains("structure_ok")) run.structure_ok = v.at("structure_ok").as_int();
+    return run;
+}
+
+result_store::result_store(const std::string& directory, const campaign_spec& spec)
+    : directory_(directory) {
+    const std::filesystem::path dir(directory);
+    std::filesystem::create_directories(dir);
+    const std::filesystem::path meta_path = dir / "meta.json";
+    const std::string fingerprint = spec_fingerprint(spec);
+
+    if (std::filesystem::exists(meta_path)) {
+        const json::value meta = json::parse(read_file(meta_path));
+        const std::string existing = meta.at("fingerprint").as_string();
+        if (existing != fingerprint) {
+            throw std::runtime_error("campaign: store " + directory +
+                                     " belongs to a different spec (fingerprint " + existing +
+                                     " != " + fingerprint + ")");
+        }
+    } else {
+        json::object meta;
+        meta["schema"] = "qubikos.campaign_store.v1";
+        meta["name"] = spec.name;
+        meta["fingerprint"] = fingerprint;
+        meta["spec"] = spec_to_json(spec);
+        // Written atomically (temp + fsync + rename): every later open
+        // parses this file, so a crash mid-write must leave either no
+        // meta.json or a complete one — a torn meta.json would brick the
+        // resume path the store exists to provide.
+        const std::filesystem::path tmp_path = dir / "meta.json.tmp";
+        {
+            const std::string text = json::value(std::move(meta)).dump(2) + "\n";
+            std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+            if (out == nullptr) {
+                throw std::runtime_error("campaign: cannot write " + tmp_path.string());
+            }
+            const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
+                            std::fflush(out) == 0;
+            if (ok) fsync_file(out);
+            std::fclose(out);
+            if (!ok) throw std::runtime_error("campaign: write failed for meta.json");
+        }
+        std::filesystem::rename(tmp_path, meta_path);
+    }
+
+    runs_path_ = (dir / "runs.jsonl").string();
+    bool needs_newline = false;
+    if (std::filesystem::exists(runs_path_)) {
+        const std::string content = read_file(runs_path_);
+        std::vector<stored_run> runs;
+        const std::size_t valid_end = parse_runs(content, runs_path_, runs);
+        for (auto& run : runs) completed_.insert(std::move(run.unit_id));
+        // Truncate a torn tail so the next append starts on a clean line.
+        if (valid_end < content.size()) {
+            std::filesystem::resize_file(runs_path_, valid_end);
+        }
+        // An intact final record without its newline (externally edited
+        // file) would otherwise concatenate with the next append.
+        needs_newline = valid_end > 0 && content[valid_end - 1] != '\n';
+    }
+
+    file_ = std::fopen(runs_path_.c_str(), "ab");
+    if (file_ == nullptr) {
+        throw std::runtime_error("campaign: cannot open " + runs_path_ + " for appending");
+    }
+    if (needs_newline) buffer_ += '\n';
+}
+
+result_store::~result_store() {
+    if (file_ != nullptr) {
+        try {
+            flush();
+        } catch (...) {  // NOLINT: a destructor must not throw
+        }
+        std::fclose(file_);
+    }
+}
+
+void result_store::append(const stored_run& run) {
+    buffer_ += run_to_json(run).dump();
+    buffer_ += '\n';
+    completed_.insert(run.unit_id);
+}
+
+void result_store::flush() {
+    if (buffer_.empty()) return;
+    // Bytes handed to the FILE must never be written twice: drop them
+    // from the buffer immediately, whatever happens next. On a short
+    // write (disk full) the remainder stays buffered — a retry continues
+    // exactly where the partial write stopped, so the worst outcome of
+    // repeated failure is a torn tail, which reopen recovers from, never
+    // a duplicated prefix mid-file, which it cannot.
+    const std::size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    buffer_.erase(0, written);
+    if (!buffer_.empty()) {
+        throw std::runtime_error("campaign: short write to " + runs_path_);
+    }
+    if (std::fflush(file_) != 0) {
+        throw std::runtime_error("campaign: flush failed for " + runs_path_);
+    }
+    fsync_file(file_);
+}
+
+std::vector<stored_run> result_store::load_runs(const std::string& directory) {
+    const std::filesystem::path path = std::filesystem::path(directory) / "runs.jsonl";
+    std::vector<stored_run> out;
+    if (!std::filesystem::exists(path)) return out;
+    const std::string content = read_file(path);
+    parse_runs(content, path.string(), out);
+    return out;
+}
+
+campaign_spec result_store::load_meta_spec(const std::string& directory) {
+    const std::filesystem::path path = std::filesystem::path(directory) / "meta.json";
+    const json::value meta = json::parse(read_file(path));
+    return spec_from_json(meta.at("spec"));
+}
+
+std::string result_store::load_meta_fingerprint(const std::string& directory) {
+    const std::filesystem::path path = std::filesystem::path(directory) / "meta.json";
+    const json::value meta = json::parse(read_file(path));
+    return meta.at("fingerprint").as_string();
+}
+
+}  // namespace qubikos::campaign

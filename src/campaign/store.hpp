@@ -1,0 +1,91 @@
+// Persistent result store: append-only JSON-lines with crash tolerance.
+//
+// On disk a store is a directory:
+//   meta.json    - spec snapshot + fingerprint (written once at creation)
+//   runs.jsonl   - one completed work unit per line, append-only
+//
+// The write path buffers records and flushes them in batches: each flush
+// fwrites the buffered lines, fflushes and fsyncs, so a crash loses at
+// most one unsynced batch and can tear at most the final line. The read
+// path tolerates exactly that failure mode — an unparseable *final* line
+// is discarded (and truncated away when the store is reopened for
+// appending, so the next append starts on a clean line boundary); garbage
+// anywhere else is a hard error.
+//
+// Opening a store checks the spec fingerprint in meta.json, so results
+// from different experiments can never silently mix in one store.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "eval/metrics.hpp"
+
+namespace qubikos::campaign {
+
+/// One completed work unit as stored on disk. `record.seconds` is
+/// per-record thread-CPU time (see eval::evaluate_suite) — the only
+/// nondeterministic field; everything else must agree between any two
+/// runs of the same unit, and the merger enforces that.
+struct stored_run {
+    std::string unit_id;
+    eval::run_record record;
+    /// Certify-mode detail (-1 when not a certify run): did the exact
+    /// solver find the instance SAT at n / UNSAT at n-1, and did the
+    /// structural verifier pass?
+    int sat_at_n = -1;
+    int unsat_below = -1;
+    int structure_ok = -1;
+};
+
+[[nodiscard]] json::value run_to_json(const stored_run& run);
+[[nodiscard]] stored_run run_from_json(const json::value& v);
+
+class result_store {
+public:
+    /// Opens `directory` for appending, creating it (and meta.json) if
+    /// absent. Replays runs.jsonl to learn which unit IDs are already
+    /// complete; a torn final line is truncated away. Throws if the store
+    /// belongs to a different spec (fingerprint mismatch).
+    result_store(const std::string& directory, const campaign_spec& spec);
+    ~result_store();
+
+    result_store(const result_store&) = delete;
+    result_store& operator=(const result_store&) = delete;
+
+    [[nodiscard]] const std::string& directory() const { return directory_; }
+    [[nodiscard]] const std::unordered_set<std::string>& completed() const { return completed_; }
+    [[nodiscard]] bool is_complete(const std::string& unit_id) const {
+        return completed_.count(unit_id) > 0;
+    }
+
+    /// Buffers one record (not yet durable until flush()).
+    void append(const stored_run& run);
+
+    /// Writes the buffered records, fflushes and fsyncs. No-op when the
+    /// buffer is empty.
+    void flush();
+
+    /// Reads every intact record of a store (no spec check). A torn
+    /// final line is skipped; earlier corruption throws.
+    [[nodiscard]] static std::vector<stored_run> load_runs(const std::string& directory);
+
+    /// Reads the spec snapshot out of a store's meta.json.
+    [[nodiscard]] static campaign_spec load_meta_spec(const std::string& directory);
+
+    /// Reads the fingerprint a store was created under. Throws when
+    /// meta.json is missing (not a store).
+    [[nodiscard]] static std::string load_meta_fingerprint(const std::string& directory);
+
+private:
+    std::string directory_;
+    std::string runs_path_;
+    std::FILE* file_ = nullptr;
+    std::string buffer_;
+    std::unordered_set<std::string> completed_;
+};
+
+}  // namespace qubikos::campaign

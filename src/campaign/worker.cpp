@@ -1,0 +1,159 @@
+#include "campaign/worker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "arch/architectures.hpp"
+#include "core/qubikos.hpp"
+#include "core/verifier.hpp"
+#include "eval/harness.hpp"
+#include "exact/olsq.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qubikos::campaign {
+
+namespace {
+
+/// Prebuilt read-only execution context shared by every unit of a run:
+/// device graphs and the tool lineup are constructed once, units only
+/// read them.
+class unit_executor {
+public:
+    explicit unit_executor(const campaign_spec& spec) : spec_(&spec) {
+        devices_.reserve(spec.suites.size());
+        for (const auto& suite : spec.suites) devices_.push_back(arch::by_name(suite.arch_name));
+        if (spec.mode == campaign_mode::tools) {
+            eval::toolbox_options toolbox;
+            toolbox.sabre_trials = spec.sabre_trials;
+            toolbox.seed = spec.toolbox_seed;
+            toolbox.sabre.threads = 1;  // suite-level parallelism only
+            tools_ = eval::paper_toolbox(toolbox);
+        }
+    }
+
+    [[nodiscard]] stored_run execute(const work_unit& unit) const {
+        const core::suite_spec& suite = spec_->suites[unit.suite_index];
+        const arch::architecture& device = devices_[unit.suite_index];
+
+        core::generator_options generator;
+        generator.num_swaps = unit.designed_swaps;
+        generator.total_two_qubit_gates = suite.total_two_qubit_gates;
+        generator.single_qubit_rate = suite.single_qubit_rate;
+        generator.seed = unit.instance_seed;
+        const core::benchmark_instance instance = core::generate(device, generator);
+
+        stored_run run;
+        run.unit_id = unit.id;
+        run.record.tool = unit.tool;
+        run.record.designed_swaps = instance.optimal_swaps;
+        if (spec_->mode == campaign_mode::certify) {
+            execute_certify(instance, device, run);
+        } else {
+            execute_tool(instance, device, unit, run);
+        }
+        return run;
+    }
+
+private:
+    void execute_tool(const core::benchmark_instance& instance,
+                      const arch::architecture& device, const work_unit& unit,
+                      stored_run& run) const {
+        const auto it = std::find_if(tools_.begin(), tools_.end(),
+                                     [&](const eval::tool& t) { return t.name == unit.tool; });
+        if (it == tools_.end()) {
+            throw std::logic_error("campaign: plan references unknown tool " + unit.tool);
+        }
+        // The exact per-pair primitive of eval::evaluate_suite, so store
+        // records and serial harness records agree by construction.
+        run.record = eval::run_tool_record(*it, instance, device);
+    }
+
+    void execute_certify(const core::benchmark_instance& instance,
+                         const arch::architecture& device, stored_run& run) const {
+        const bool structure_ok = core::verify_structure(instance, device).valid;
+        const int swaps = instance.optimal_swaps;
+        cpu_stopwatch timer;
+        const bool sat =
+            exact::check_swap_count(instance.logical, device.coupling, swaps,
+                                    spec_->conflict_limit) == exact::feasibility::feasible;
+        const bool unsat =
+            swaps == 0 ||
+            exact::check_swap_count(instance.logical, device.coupling, swaps - 1,
+                                    spec_->conflict_limit) == exact::feasibility::infeasible;
+        run.record.seconds = timer.seconds();
+        run.sat_at_n = sat ? 1 : 0;
+        run.unsat_below = unsat ? 1 : 0;
+        run.structure_ok = structure_ok ? 1 : 0;
+        run.record.valid = sat && unsat && structure_ok;
+        run.record.measured_swaps = sat ? static_cast<std::size_t>(swaps) : 0;
+    }
+
+    const campaign_spec* spec_;
+    std::vector<arch::architecture> devices_;
+    std::vector<eval::tool> tools_;
+};
+
+}  // namespace
+
+stored_run execute_unit(const campaign_spec& spec, const work_unit& unit) {
+    return unit_executor(spec).execute(unit);
+}
+
+worker_report run_campaign_shard(const campaign_plan& plan, const std::string& store_dir,
+                                 const worker_options& options) {
+    if (options.threads < 0) {
+        throw std::invalid_argument("campaign: worker threads must be >= 0");
+    }
+    if (options.batch_size == 0) {
+        throw std::invalid_argument("campaign: worker batch_size must be >= 1");
+    }
+
+    result_store store(store_dir, plan.spec);
+    const std::vector<std::size_t> owned =
+        shard_indices(plan.units.size(), options.shard, options.num_shards);
+
+    std::vector<std::size_t> pending;
+    pending.reserve(owned.size());
+    for (const std::size_t index : owned) {
+        if (!store.is_complete(plan.units[index].id)) pending.push_back(index);
+    }
+
+    worker_report report;
+    report.assigned = owned.size();
+    report.skipped = owned.size() - pending.size();
+    const std::size_t limit =
+        options.max_units == 0 ? pending.size() : std::min(options.max_units, pending.size());
+    report.remaining = pending.size() - limit;
+    if (limit == 0) return report;
+
+    const unit_executor executor(plan.spec);
+    thread_pool pool(
+        std::min(thread_pool::resolve_threads(static_cast<std::size_t>(options.threads)),
+                 std::min(options.batch_size, limit)));
+
+    std::vector<stored_run> results;
+    for (std::size_t start = 0; start < limit; start += options.batch_size) {
+        const std::size_t end = std::min(start + options.batch_size, limit);
+        results.assign(end - start, {});
+        pool.parallel_for(start, end, [&](std::size_t i) {
+            results[i - start] = executor.execute(plan.units[pending[i]]);
+        });
+        // Append in unit order and make the whole batch durable at once.
+        for (const auto& run : results) {
+            if (!run.record.valid) ++report.invalid_runs;
+            store.append(run);
+            if (options.verbose) {
+                std::printf("  [%s] %s swaps=%zu valid=%d %.3fs\n", run.record.tool.c_str(),
+                            run.unit_id.c_str(), run.record.measured_swaps,
+                            run.record.valid ? 1 : 0, run.record.seconds);
+            }
+        }
+        store.flush();
+        report.executed += end - start;
+    }
+    return report;
+}
+
+}  // namespace qubikos::campaign

@@ -1,0 +1,66 @@
+// Shard worker: executes a campaign plan's work units and streams the
+// results into a persistent store.
+//
+// A worker owns one shard (k of n) of the plan. It skips every unit the
+// store already holds — so re-launching an interrupted shard resumes
+// where the last fsync'd batch left off — and runs the remainder in
+// batches on the shared thread pool (suite-level parallelism; the tools
+// themselves stay serial). Batch results are appended to the store in
+// unit order and fsync'd together, bounding both the fsync rate and the
+// work a crash can lose.
+//
+// Instances are regenerated on demand from the spec's seeds instead of
+// being loaded from disk: the generator is deterministic and cheap
+// relative to routing, and it keeps a shard fully self-contained — spec
+// in, results out, no shared suite directory to distribute.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "campaign/plan.hpp"
+#include "campaign/store.hpp"
+
+namespace qubikos::campaign {
+
+struct worker_options {
+    int shard = 0;
+    int num_shards = 1;
+    /// Thread-pool size for units within a batch (0 = auto via
+    /// QUBIKOS_THREADS / hardware_concurrency, 1 = serial). Tools always
+    /// run serial inside a unit.
+    int threads = 1;
+    /// Units per append-and-fsync batch (also the parallel batch width
+    /// when larger than the pool).
+    std::size_t batch_size = 16;
+    /// Stop after executing this many units (0 = no limit). Lets tests
+    /// and drills interrupt a shard at a deterministic point.
+    std::size_t max_units = 0;
+    /// Per-unit progress lines on stdout.
+    bool verbose = false;
+};
+
+struct worker_report {
+    /// Units this shard owns under the plan.
+    std::size_t assigned = 0;
+    /// Owned units already present in the store (resumed past).
+    std::size_t skipped = 0;
+    /// Units executed and recorded by this invocation.
+    std::size_t executed = 0;
+    /// Owned units still missing afterwards (only when max_units cut the
+    /// run short).
+    std::size_t remaining = 0;
+    int invalid_runs = 0;
+};
+
+/// Runs shard `options.shard` of `options.num_shards` of the plan,
+/// appending into the store at `store_dir` (created if absent; must
+/// match the plan's spec fingerprint).
+worker_report run_campaign_shard(const campaign_plan& plan, const std::string& store_dir,
+                                 const worker_options& options = {});
+
+/// Executes a single work unit (no store involved) — the primitive the
+/// worker batches, exposed for tests and the merge-equals-serial check.
+[[nodiscard]] stored_run execute_unit(const campaign_spec& spec, const work_unit& unit);
+
+}  // namespace qubikos::campaign

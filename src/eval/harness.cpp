@@ -36,6 +36,25 @@ std::vector<tool> paper_toolbox(const toolbox_options& options) {
     return tools;
 }
 
+run_record run_tool_record(const tool& t, const core::benchmark_instance& instance,
+                           const arch::architecture& device) {
+    run_record record;
+    record.tool = t.name;
+    record.designed_swaps = instance.optimal_swaps;
+    cpu_stopwatch timer;
+    const routed_circuit routed = t.run(instance.logical, device.coupling);
+    record.seconds = timer.seconds();
+    const auto report = validate_routed(instance.logical, routed, device.coupling);
+    record.valid = report.valid;
+    record.measured_swaps = report.swap_count;
+    const int logical_depth = instance.logical.depth();
+    if (logical_depth > 0) {
+        record.depth_ratio = static_cast<double>(routed.physical.depth()) /
+                             static_cast<double>(logical_depth);
+    }
+    return record;
+}
+
 evaluation_result evaluate_suite(const core::suite& s, const arch::architecture& device,
                                  const std::vector<tool>& tools, int threads) {
     if (threads < 0) throw std::invalid_argument("evaluate_suite: threads must be >= 0");
@@ -52,22 +71,8 @@ evaluation_result evaluate_suite(const core::suite& s, const arch::architecture&
     thread_pool pool(std::min(
         thread_pool::resolve_threads(static_cast<std::size_t>(threads)), num_pairs));
     pool.parallel_for(0, num_pairs, [&](std::size_t pair) {
-        const auto& instance = s.instances[pair / num_tools];
-        const auto& t = tools[pair % num_tools];
-        stopwatch timer;
-        const routed_circuit routed = t.run(instance.logical, device.coupling);
-        run_record& record = result.records[pair];
-        record.tool = t.name;
-        record.designed_swaps = instance.optimal_swaps;
-        record.seconds = timer.seconds();
-        const auto report = validate_routed(instance.logical, routed, device.coupling);
-        record.valid = report.valid;
-        record.measured_swaps = report.swap_count;
-        const int logical_depth = instance.logical.depth();
-        if (logical_depth > 0) {
-            record.depth_ratio = static_cast<double>(routed.physical.depth()) /
-                                 static_cast<double>(logical_depth);
-        }
+        result.records[pair] =
+            run_tool_record(tools[pair % num_tools], s.instances[pair / num_tools], device);
     });
 
     for (const auto& record : result.records) {

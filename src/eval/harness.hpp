@@ -47,16 +47,27 @@ struct evaluation_result {
     int invalid_runs = 0;
 };
 
+/// Runs one tool on one instance and fills the complete run_record — the
+/// per-pair primitive of evaluate_suite. The campaign worker calls this
+/// same function, so a store record and a serial harness record agree
+/// field for field by construction (seconds is thread-CPU time around
+/// the tool invocation only; validation is untimed).
+[[nodiscard]] run_record run_tool_record(const tool& t, const core::benchmark_instance& instance,
+                                         const arch::architecture& device);
+
 /// Runs every tool on every instance of the suite. The (tool x instance)
 /// grid is embarrassingly parallel: pairs run on a thread pool sized by
 /// `threads` (0 = auto via QUBIKOS_THREADS / hardware_concurrency, 1 =
 /// serial) and each writes a preallocated record slot, so records keep
 /// the serial order (instance-major, tool-minor) and identical swap
 /// counts, validity and depth ratios for every thread count. `seconds`
-/// is wall time and inflates under contention — benches that report
-/// runtimes must use threads = 1. When parallelizing here, keep the
-/// tools themselves serial (sabre_options::threads = 1) to avoid
-/// oversubscription.
+/// is per-record *thread-CPU* time (serial timing semantics): it measures
+/// what the tool invocation itself costs and does not inflate when
+/// sibling records contend for cores, so records taken at any `threads`
+/// are comparable. It still excludes nothing the tool does internally —
+/// keep the tools themselves serial (sabre_options::threads = 1) when
+/// parallelizing here, both to avoid oversubscription and so a tool's
+/// own worker threads don't escape its timing.
 [[nodiscard]] evaluation_result evaluate_suite(const core::suite& s,
                                                const arch::architecture& device,
                                                const std::vector<tool>& tools,

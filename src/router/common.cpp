@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
 #include <stdexcept>
 
 #include "graph/bfs.hpp"
@@ -190,17 +189,27 @@ void force_route(int node, const gate_dag& dag, const graph& coupling,
 
 // --- candidate swaps ----------------------------------------------------------
 
-std::vector<edge> candidate_swaps(const std::vector<int>& front, const gate_dag& dag,
-                                  const graph& coupling, const mapping& current) {
-    std::set<edge> out;
+void candidate_swaps(const std::vector<int>& front, const gate_dag& dag, const graph& coupling,
+                     const mapping& current, std::vector<edge>& out) {
+    out.clear();
     for (const int node : front) {
         const gate& g = dag.node_gate(node);
         for (const int q : {g.q0, g.q1}) {
             const int p = current.physical(q);
-            for (const int pn : coupling.neighbors(p)) out.insert(edge(p, pn));
+            for (const int pn : coupling.neighbors(p)) out.push_back(edge(p, pn));
         }
     }
-    return {out.begin(), out.end()};
+    // Sorted + deduplicated matches the old std::set iteration order
+    // exactly, so routing decisions (and tie-breaks) are unchanged.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::vector<edge> candidate_swaps(const std::vector<int>& front, const gate_dag& dag,
+                                  const graph& coupling, const mapping& current) {
+    std::vector<edge> out;
+    candidate_swaps(front, dag, coupling, current, out);
+    return out;
 }
 
 }  // namespace qubikos::router

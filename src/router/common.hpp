@@ -98,7 +98,15 @@ void force_route(int node, const gate_dag& dag, const graph& coupling,
                  const distance_matrix& dist, mapping& current, emission_buffer& out);
 
 /// Candidate swaps for a front layer: all coupling edges incident to the
-/// physical location of any front-gate operand (normalized, deduplicated).
+/// physical location of any front-gate operand (normalized, deduplicated,
+/// ascending). Fills `out` (cleared first) via sort+unique on the caller's
+/// reused buffer — the routers call this once per emitted swap, so the
+/// buffer's capacity persists across the whole routing loop instead of a
+/// std::set allocating per node per decision point.
+void candidate_swaps(const std::vector<int>& front, const gate_dag& dag, const graph& coupling,
+                     const mapping& current, std::vector<edge>& out);
+
+/// Convenience overload returning a fresh vector (same order).
 [[nodiscard]] std::vector<edge> candidate_swaps(const std::vector<int>& front,
                                                 const gate_dag& dag, const graph& coupling,
                                                 const mapping& current);

@@ -35,6 +35,7 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
 
     // Scratch buffers reused across every iteration of the routing loop.
     std::vector<int> executable;
+    std::vector<edge> candidates;
     std::vector<std::pair<int, int>> front_phys;
     std::vector<std::pair<int, int>> ext_phys;
     std::vector<double> ext_weight;
@@ -118,7 +119,7 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
         }
 
         // Score candidate swaps.
-        const auto candidates = candidate_swaps(frontier.front(), dag, coupling, current);
+        candidate_swaps(frontier.front(), dag, coupling, current, candidates);
         const auto extended = frontier.lookahead_set(options.extended_set_size);
         const auto& front = frontier.front();
 

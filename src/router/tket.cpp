@@ -59,6 +59,7 @@ routed_circuit route_tket_with_initial(const circuit& logical, const graph& coup
         options.stagnation_limit > 0 ? options.stagnation_limit : 3 * dist.diameter() + 20;
     int swaps_since_progress = 0;
     edge last_swap;
+    std::vector<edge> candidates;  // reused across decision points
 
     const auto gate_distance_after = [&](int node, int pa, int pb) {
         const gate& g = dag.node_gate(node);
@@ -103,7 +104,7 @@ routed_circuit route_tket_with_initial(const circuit& logical, const graph& coup
         }
 
         const auto slices = upcoming_slices(dag, frontier, options.lookahead_slices);
-        const auto candidates = candidate_swaps(frontier.front(), dag, coupling, current);
+        candidate_swaps(frontier.front(), dag, coupling, current, candidates);
 
         double best_cost = std::numeric_limits<double>::infinity();
         edge best;

@@ -1,0 +1,332 @@
+// Campaign-engine tests: spec round-trip, plan stability, shard
+// partitioning, result-store crash tolerance, and the core guarantee —
+// a sharded, interrupted, resumed, merged campaign reproduces a
+// single-process evaluate_suite run exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "arch/architectures.hpp"
+#include "campaign/merge.hpp"
+#include "campaign/plan.hpp"
+#include "campaign/report.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+#include "campaign/worker.hpp"
+#include "core/suite.hpp"
+#include "eval/harness.hpp"
+
+namespace qubikos {
+namespace {
+
+campaign::campaign_spec small_spec() {
+    campaign::campaign_spec spec;
+    spec.name = "test";
+    spec.sabre_trials = 4;
+    core::suite_spec suite;
+    suite.arch_name = "grid3x3";
+    suite.swap_counts = {1, 2};
+    suite.circuits_per_count = 2;
+    suite.total_two_qubit_gates = 25;
+    suite.base_seed = 5;
+    spec.suites.push_back(suite);
+    return spec;
+}
+
+/// Fresh per-test scratch directory (removed up front, not after, so a
+/// failing test leaves its store behind for inspection).
+std::string scratch_dir(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "qubikos_campaign_tests" / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+TEST(campaign_spec, json_round_trip_and_fingerprint) {
+    const auto spec = campaign::example_spec();
+    const auto restored = campaign::spec_from_json(campaign::spec_to_json(spec));
+    EXPECT_EQ(campaign::spec_to_json(restored).dump(), campaign::spec_to_json(spec).dump());
+    EXPECT_EQ(campaign::spec_fingerprint(restored), campaign::spec_fingerprint(spec));
+
+    auto changed = spec;
+    changed.sabre_trials += 1;
+    EXPECT_NE(campaign::spec_fingerprint(changed), campaign::spec_fingerprint(spec));
+
+    // save_spec creates missing parent directories (the README's
+    // `campaign init exp/spec.json` flow on a fresh checkout).
+    const std::string path = scratch_dir("spec_rt") + "/nested/exp/spec.json";
+    campaign::save_spec(spec, path);
+    EXPECT_EQ(campaign::spec_fingerprint(campaign::load_spec(path)),
+              campaign::spec_fingerprint(spec));
+}
+
+TEST(campaign_plan, expansion_order_and_stable_ids) {
+    const auto plan = campaign::expand_plan(small_spec());
+    // 2 counts x 2 circuits x 4 tools, instance-major tool-minor.
+    ASSERT_EQ(plan.units.size(), 16u);
+    EXPECT_EQ(plan.units[0].id, "u0:grid3x3:n1:i0:seed5:lightsabre");
+    EXPECT_EQ(plan.units[1].id, "u0:grid3x3:n1:i0:seed5:mlqls");
+    EXPECT_EQ(plan.units[4].id, "u0:grid3x3:n1:i1:seed6:lightsabre");
+    EXPECT_EQ(plan.units[8].designed_swaps, 2);
+    EXPECT_EQ(plan.units[8].instance_seed, 7u);
+    // Expansion is deterministic.
+    const auto again = campaign::expand_plan(small_spec());
+    for (std::size_t i = 0; i < plan.units.size(); ++i) {
+        EXPECT_EQ(plan.units[i].id, again.units[i].id);
+    }
+}
+
+TEST(campaign_plan, shards_partition_the_plan) {
+    const auto plan = campaign::expand_plan(small_spec());
+    for (const int n : {1, 2, 3, 5, 16, 20}) {
+        std::set<std::size_t> seen;
+        std::size_t total = 0;
+        for (int k = 0; k < n; ++k) {
+            const auto indices = campaign::shard_indices(plan.units.size(), k, n);
+            total += indices.size();
+            for (std::size_t i = 1; i < indices.size(); ++i) {
+                EXPECT_LT(indices[i - 1], indices[i]);  // ascending
+            }
+            for (const auto i : indices) {
+                EXPECT_TRUE(seen.insert(i).second) << "index assigned twice with n=" << n;
+            }
+        }
+        EXPECT_EQ(total, plan.units.size()) << "n=" << n;       // completeness
+        EXPECT_EQ(seen.size(), plan.units.size()) << "n=" << n;  // disjointness
+    }
+    EXPECT_THROW((void)campaign::shard_indices(4, 2, 2), std::invalid_argument);
+    EXPECT_THROW((void)campaign::shard_indices(4, -1, 2), std::invalid_argument);
+    EXPECT_THROW((void)campaign::shard_indices(4, 0, 0), std::invalid_argument);
+}
+
+TEST(campaign_store, interrupted_run_with_torn_tail_resumes) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+    const std::string dir = scratch_dir("resume");
+
+    campaign::worker_options options;
+    options.max_units = 3;  // deterministic "interruption"
+    options.batch_size = 2;
+    auto report = campaign::run_campaign_shard(plan, dir, options);
+    EXPECT_EQ(report.executed, 3u);
+    EXPECT_EQ(report.remaining, plan.units.size() - 3);
+
+    // Simulate the crash tearing the file mid-append.
+    {
+        std::ofstream tail(dir + "/runs.jsonl", std::ios::app);
+        tail << "{\"unit_id\": \"torn-by-cra";
+    }
+
+    // Reopen: the torn tail is discarded, the 3 durable units are known.
+    {
+        campaign::result_store store(dir, spec);
+        EXPECT_EQ(store.completed().size(), 3u);
+        EXPECT_TRUE(store.is_complete(plan.units[0].id));
+    }
+    EXPECT_EQ(campaign::result_store::load_runs(dir).size(), 3u);
+
+    options.max_units = 0;
+    report = campaign::run_campaign_shard(plan, dir, options);
+    EXPECT_EQ(report.skipped, 3u);
+    EXPECT_EQ(report.executed, plan.units.size() - 3);
+
+    const auto merged = campaign::merge_stores(plan, {dir});
+    EXPECT_TRUE(merged.complete());
+    EXPECT_EQ(merged.runs.size(), plan.units.size());
+}
+
+TEST(campaign_store, truncation_inside_a_record_drops_only_that_record) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+    const std::string dir = scratch_dir("truncate");
+    campaign::worker_options options;
+    options.max_units = 2;
+    (void)campaign::run_campaign_shard(plan, dir, options);
+    ASSERT_EQ(campaign::result_store::load_runs(dir).size(), 2u);
+
+    const std::string path = dir + "/runs.jsonl";
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) - 7);
+    EXPECT_EQ(campaign::result_store::load_runs(dir).size(), 1u);
+
+    // Reopening truncates the torn bytes and resumes cleanly.
+    campaign::result_store store(dir, spec);
+    EXPECT_EQ(store.completed().size(), 1u);
+}
+
+TEST(campaign_store, corruption_before_the_tail_is_a_hard_error) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+    const std::string dir = scratch_dir("corrupt");
+    campaign::worker_options options;
+    options.max_units = 2;
+    (void)campaign::run_campaign_shard(plan, dir, options);
+
+    // Garbage with records after it is not a torn tail.
+    std::string content;
+    {
+        std::ifstream in(dir + "/runs.jsonl");
+        std::getline(in, content);
+    }
+    std::ofstream out(dir + "/runs.jsonl", std::ios::trunc);
+    out << "this is not json\n" << content << "\n";
+    out.close();
+    EXPECT_THROW((void)campaign::result_store::load_runs(dir), std::runtime_error);
+}
+
+TEST(campaign_store, rejects_store_of_a_different_spec) {
+    const auto spec = small_spec();
+    const std::string dir = scratch_dir("fingerprint");
+    { campaign::result_store store(dir, spec); }
+    auto other = spec;
+    other.sabre_trials = 99;
+    EXPECT_THROW(campaign::result_store(dir, other), std::runtime_error);
+    // The matching spec still opens.
+    campaign::result_store store(dir, spec);
+    EXPECT_TRUE(store.completed().empty());
+}
+
+TEST(campaign_merge, sharded_interrupted_run_equals_serial_evaluate_suite) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+
+    // Serial reference: the pre-campaign path over the same experiment.
+    const auto device = arch::by_name(spec.suites[0].arch_name);
+    const auto s = core::generate_suite(device, spec.suites[0]);
+    eval::toolbox_options toolbox;
+    toolbox.sabre_trials = spec.sabre_trials;
+    toolbox.seed = spec.toolbox_seed;
+    const auto serial = eval::evaluate_suite(s, device, eval::paper_toolbox(toolbox));
+
+    // Campaign: two shards, one interrupted and resumed, workers parallel.
+    const std::string dir0 = scratch_dir("merge_s0");
+    const std::string dir1 = scratch_dir("merge_s1");
+    campaign::worker_options options;
+    options.num_shards = 2;
+    options.threads = 2;
+    options.batch_size = 3;
+    options.shard = 0;
+    (void)campaign::run_campaign_shard(plan, dir0, options);
+    options.shard = 1;
+    options.max_units = 2;
+    (void)campaign::run_campaign_shard(plan, dir1, options);  // interrupted...
+    options.max_units = 0;
+    (void)campaign::run_campaign_shard(plan, dir1, options);  // ...and resumed
+
+    const auto merged = campaign::merge_stores(plan, {dir0, dir1});
+    ASSERT_TRUE(merged.complete());
+    const auto records = campaign::merged_records(merged);
+    ASSERT_EQ(records.size(), serial.records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records[i].tool, serial.records[i].tool) << i;
+        EXPECT_EQ(records[i].designed_swaps, serial.records[i].designed_swaps) << i;
+        EXPECT_EQ(records[i].measured_swaps, serial.records[i].measured_swaps) << i;
+        EXPECT_EQ(records[i].valid, serial.records[i].valid) << i;
+        EXPECT_DOUBLE_EQ(records[i].depth_ratio, serial.records[i].depth_ratio) << i;
+    }
+
+    // Aggregates agree cell by cell, so the paper tables are identical.
+    const auto cells = eval::aggregate(records);
+    ASSERT_EQ(cells.size(), serial.cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(cells[i].tool, serial.cells[i].tool);
+        EXPECT_EQ(cells[i].designed_swaps, serial.cells[i].designed_swaps);
+        EXPECT_EQ(cells[i].runs, serial.cells[i].runs);
+        EXPECT_DOUBLE_EQ(cells[i].swap_ratio, serial.cells[i].swap_ratio);
+        EXPECT_DOUBLE_EQ(cells[i].average_depth_ratio, serial.cells[i].average_depth_ratio);
+    }
+
+    // And the rendered report is byte-identical to a single-process run.
+    const std::string single = scratch_dir("merge_single");
+    (void)campaign::run_campaign_shard(plan, single, {});
+    const auto single_merged = campaign::merge_stores(plan, {single});
+    EXPECT_EQ(campaign::render_report(plan, merged),
+              campaign::render_report(plan, single_merged));
+
+    // A store written from the merge behaves like any other store.
+    const std::string out = scratch_dir("merge_out");
+    campaign::write_merged_store(merged, spec, out);
+    const auto reloaded = campaign::merge_stores(plan, {out});
+    EXPECT_TRUE(reloaded.complete());
+    EXPECT_EQ(campaign::render_report(plan, reloaded), campaign::render_report(plan, merged));
+}
+
+TEST(campaign_merge, overlapping_stores_dedup_and_conflicts_throw) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+    const std::string dir0 = scratch_dir("dup_a");
+    const std::string dir1 = scratch_dir("dup_b");
+    campaign::worker_options options;
+    options.max_units = 4;
+    (void)campaign::run_campaign_shard(plan, dir0, options);
+    (void)campaign::run_campaign_shard(plan, dir1, options);  // same units again
+
+    auto merged = campaign::merge_stores(plan, {dir0, dir1});
+    EXPECT_EQ(merged.duplicates, 4u);
+    EXPECT_EQ(merged.runs.size(), 4u);
+
+    // A record disagreeing on a deterministic field is a hard error.
+    const std::string dir2 = scratch_dir("dup_conflict");
+    {
+        campaign::result_store store(dir2, spec);
+        campaign::stored_run bad = campaign::result_store::load_runs(dir0).front();
+        bad.record.measured_swaps += 1;
+        store.append(bad);
+        store.flush();
+    }
+    EXPECT_THROW((void)campaign::merge_stores(plan, {dir0, dir2}), std::runtime_error);
+}
+
+TEST(campaign_merge, rejects_store_of_a_different_spec) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+    auto other = spec;
+    other.sabre_trials = 99;  // same unit IDs, different experiment
+    const std::string dir = scratch_dir("merge_fingerprint");
+    campaign::worker_options options;
+    options.max_units = 1;
+    (void)campaign::run_campaign_shard(campaign::expand_plan(other), dir, options);
+    EXPECT_THROW((void)campaign::merge_stores(plan, {dir}), std::runtime_error);
+    // A directory that is not a store at all is also an error.
+    EXPECT_THROW((void)campaign::merge_stores(plan, {scratch_dir("merge_not_a_store")}),
+                 std::exception);
+}
+
+TEST(campaign_certify, confirms_designed_counts) {
+    campaign::campaign_spec spec;
+    spec.name = "certify_test";
+    spec.mode = campaign::campaign_mode::certify;
+    core::suite_spec suite;
+    suite.arch_name = "grid3x3";
+    suite.swap_counts = {1, 2};
+    suite.circuits_per_count = 1;
+    suite.total_two_qubit_gates = 20;
+    suite.base_seed = 3;
+    spec.suites.push_back(suite);
+
+    const auto plan = campaign::expand_plan(spec);
+    ASSERT_EQ(plan.units.size(), 2u);  // one "exact" pseudo-tool
+    EXPECT_EQ(plan.units[0].tool, "exact");
+
+    const std::string dir = scratch_dir("certify");
+    const auto report = campaign::run_campaign_shard(plan, dir, {});
+    EXPECT_EQ(report.invalid_runs, 0);
+
+    const auto merged = campaign::merge_stores(plan, {dir});
+    ASSERT_TRUE(merged.complete());
+    for (const auto& run : merged.runs) {
+        EXPECT_TRUE(run.record.valid);
+        EXPECT_EQ(run.sat_at_n, 1);
+        EXPECT_EQ(run.unsat_below, 1);
+        EXPECT_EQ(run.structure_ok, 1);
+        EXPECT_EQ(run.record.measured_swaps,
+                  static_cast<std::size_t>(run.record.designed_swaps));
+    }
+    const auto rendered = campaign::render_report(plan, merged);
+    EXPECT_NE(rendered.find("confirmed 2/2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qubikos
