@@ -9,7 +9,9 @@
 //   qubikos_cli campaign init <spec.json>
 //   qubikos_cli campaign plan <spec.json> [num_shards]
 //   qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]
-//                            [--threads t] [--max-units m] [--batch b] [-v]
+//                            [--threads t] [--max-units m] [--batch b]
+//                            [--retry-quarantined] [-v]
+//   qubikos_cli campaign status <store> [--shards n]
 //   qubikos_cli campaign merge <spec.json> <out_store> <in_store>...
 //   qubikos_cli campaign report <spec.json> <store>...
 //
@@ -25,6 +27,7 @@
 #include "campaign/plan.hpp"
 #include "campaign/report.hpp"
 #include "campaign/spec.hpp"
+#include "campaign/status.hpp"
 #include "campaign/store.hpp"
 #include "campaign/worker.hpp"
 #include "circuit/qasm.hpp"
@@ -51,7 +54,9 @@ int usage() {
                  "  qubikos_cli campaign init <spec.json>\n"
                  "  qubikos_cli campaign plan <spec.json> [num_shards]\n"
                  "  qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]\n"
-                 "                           [--threads t] [--max-units m] [--batch b] [-v]\n"
+                 "                           [--threads t] [--max-units m] [--batch b]\n"
+                 "                           [--retry-quarantined] [-v]\n"
+                 "  qubikos_cli campaign status <store> [--shards n]\n"
                  "  qubikos_cli campaign merge <spec.json> <out_store> <in_store>...\n"
                  "  qubikos_cli campaign report <spec.json> <store>...\n");
     return 2;
@@ -235,6 +240,8 @@ int cmd_campaign_run(int argc, char** argv) {
             options.max_units = static_cast<std::size_t>(std::atoll(argv[++i]));
         } else if (arg == "--batch" && i + 1 < argc) {
             options.batch_size = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (arg == "--retry-quarantined") {
+            options.retry_quarantined = true;
         } else if (arg == "-v" || arg == "--verbose") {
             options.verbose = true;
         } else {
@@ -247,10 +254,35 @@ int cmd_campaign_run(int argc, char** argv) {
     const auto report = campaign::run_campaign_shard(plan, store_dir, options);
     std::printf(
         "shard %d/%d: %zu assigned, %zu resumed (skipped), %zu executed, %zu remaining, "
-        "%d invalid (%.2fs)\n",
+        "%zu failed attempts, %zu quarantined, %d invalid (%.2fs)\n",
         options.shard, options.num_shards, report.assigned, report.skipped, report.executed,
-        report.remaining, report.invalid_runs, timer.seconds());
-    return report.invalid_runs == 0 ? 0 : 1;
+        report.remaining, report.failed_attempts, report.quarantined, report.invalid_runs,
+        timer.seconds());
+    return report.invalid_runs == 0 && report.quarantined == 0 ? 0 : 1;
+}
+
+int cmd_campaign_status(int argc, char** argv) {
+    if (argc < 4) return usage();
+    const std::string store_dir = argv[3];
+    campaign::status_options options;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--shards" && i + 1 < argc) {
+            options.num_shards = std::atoi(argv[++i]);
+        } else {
+            std::fprintf(stderr, "unknown campaign status option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    // Read-only probe: the spec comes out of the store's own meta.json
+    // and the runs are loaded without opening the store for appending,
+    // so probing a store a worker is writing to is always safe.
+    const auto spec = campaign::result_store::load_meta_spec(store_dir);
+    const auto plan = campaign::expand_plan(spec);
+    const auto runs = campaign::result_store::load_runs(store_dir);
+    const auto status = campaign::probe_status(plan, runs, options);
+    std::fputs(campaign::render_status(plan, status, options).c_str(), stdout);
+    return status.complete() ? 0 : 1;
 }
 
 int cmd_campaign_merge(int argc, char** argv) {
@@ -284,6 +316,7 @@ int cmd_campaign(int argc, char** argv) {
     if (std::strcmp(argv[2], "init") == 0) return cmd_campaign_init(argc, argv);
     if (std::strcmp(argv[2], "plan") == 0) return cmd_campaign_plan(argc, argv);
     if (std::strcmp(argv[2], "run") == 0) return cmd_campaign_run(argc, argv);
+    if (std::strcmp(argv[2], "status") == 0) return cmd_campaign_status(argc, argv);
     if (std::strcmp(argv[2], "merge") == 0) return cmd_campaign_merge(argc, argv);
     if (std::strcmp(argv[2], "report") == 0) return cmd_campaign_report(argc, argv);
     return usage();

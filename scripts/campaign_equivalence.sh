@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # 2-shard mini-campaign equivalence drill (run by CI, useful locally).
 #
-# Exercises the campaign engine's core guarantee end to end with the CLI:
+# Exercises the campaign engine's core guarantees end to end with the CLI:
 #   1. single-process reference run + report;
 #   2. shard 0/2 runs to completion;
 #   3. shard 1/2 is interrupted midway (--max-units) and its store is
 #      torn mid-line, as a SIGKILL during an append would leave it;
 #   4. shard 1/2 is re-launched and resumes past the intact records;
 #   5. both stores merge, and the merged report must be byte-identical
-#      to the single-process reference.
+#      to the single-process reference;
+#   6. fault drill: a deterministically failing unit (env-var fault hook)
+#      quarantines without killing its shard, `campaign status` shows it,
+#      `campaign run --retry-quarantined` drains it once the fault is
+#      cleared, and the drained report is byte-identical to the
+#      reference again.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -49,3 +54,46 @@ echo "--- merge + report"
 
 diff "$WORK/ref_report.txt" "$WORK/merged_report.txt"
 echo "OK: merged 2-shard report is byte-identical to the single-process reference"
+
+echo "--- fault drill: failing unit quarantines instead of killing the shard"
+# The fault hook makes this one unit throw deterministically; with
+# max_attempts=2 it fails twice and is quarantined, every other unit
+# completes, and the worker exits nonzero to flag the quarantine.
+FAULT_UNIT="u0:aspen4:n2:i0:seed7:qmap"
+if QUBIKOS_CAMPAIGN_FAULT_UNIT="$FAULT_UNIT" \
+    "$CLI" campaign run "$WORK/spec.json" "$WORK/faulty" | tee "$WORK/faulty_run.txt"; then
+  echo "error: worker should exit nonzero while a unit is quarantined" >&2
+  exit 1
+fi
+grep -q "1 quarantined" "$WORK/faulty_run.txt" || {
+  echo "error: expected exactly one quarantined unit" >&2
+  exit 1
+}
+
+echo "--- status probe shows the quarantined unit (read-only, no spec needed)"
+"$CLI" campaign status "$WORK/faulty" > "$WORK/status.txt" && {
+  echo "error: status should exit nonzero while units are quarantined" >&2
+  exit 1
+}
+cat "$WORK/status.txt"
+grep -q "1 quarantined" "$WORK/status.txt" || {
+  echo "error: status did not count the quarantined unit" >&2
+  exit 1
+}
+grep -q "$FAULT_UNIT" "$WORK/status.txt" || {
+  echo "error: status did not name the quarantined unit" >&2
+  exit 1
+}
+
+echo "--- retry drains the quarantine (fault cleared)"
+"$CLI" campaign run "$WORK/spec.json" "$WORK/faulty" --retry-quarantined
+"$CLI" campaign status "$WORK/faulty" > "$WORK/status_after.txt"
+grep -q "0 quarantined" "$WORK/status_after.txt" || {
+  echo "error: retry did not drain the quarantine" >&2
+  exit 1
+}
+
+echo "--- drained report is byte-identical to the reference"
+"$CLI" campaign report "$WORK/spec.json" "$WORK/faulty" > "$WORK/faulty_report.txt"
+diff "$WORK/ref_report.txt" "$WORK/faulty_report.txt"
+echo "OK: quarantine + retry leaves the report byte-identical to the fault-free reference"

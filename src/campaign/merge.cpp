@@ -1,8 +1,10 @@
 #include "campaign/merge.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace qubikos::campaign {
 
@@ -19,7 +21,7 @@ bool deterministic_fields_agree(const stored_run& a, const stored_run& b) {
            // meaningful; tolerate only the last-ulp of a double division.
            std::abs(a.record.depth_ratio - b.record.depth_ratio) < 1e-12 &&
            a.sat_at_n == b.sat_at_n && a.unsat_below == b.unsat_below &&
-           a.structure_ok == b.structure_ok;
+           a.structure_ok == b.structure_ok && a.vf2_solvable == b.vf2_solvable;
 }
 
 }  // namespace
@@ -28,6 +30,20 @@ merged_campaign merge_stores(const campaign_plan& plan,
                              const std::vector<std::string>& store_dirs) {
     std::unordered_map<std::string, stored_run> by_id;
     by_id.reserve(plan.units.size());
+    struct failure_info {
+        /// Distinct attempt numbers seen, so the same error record loaded
+        /// from overlapping stores (supported for successes, so it must
+        /// be for failures too) doesn't inflate the attempt count.
+        std::unordered_set<int> attempts;
+        std::string error;
+
+        [[nodiscard]] int attempt_count() const {
+            int max_attempt = 0;
+            for (const int a : attempts) max_attempt = std::max(max_attempt, a);
+            return std::max(max_attempt, static_cast<int>(attempts.size()));
+        }
+    };
+    std::unordered_map<std::string, failure_info> failures;
     merged_campaign merged;
 
     const std::string fingerprint = spec_fingerprint(plan.spec);
@@ -43,6 +59,15 @@ merged_campaign merge_stores(const campaign_plan& plan,
                                      " != " + fingerprint + ")");
         }
         for (auto& run : result_store::load_runs(dir)) {
+            if (run.failed()) {
+                // A failed attempt is bookkeeping, not a result: it never
+                // joins the merge, never conflicts, and a later success of
+                // the same unit supersedes it entirely.
+                auto& failure = failures[run.unit_id];
+                failure.attempts.insert(run.attempt);
+                failure.error = run.error;
+                continue;
+            }
             const auto it = by_id.find(run.unit_id);
             if (it == by_id.end()) {
                 by_id.emplace(run.unit_id, std::move(run));
@@ -62,6 +87,11 @@ merged_campaign merge_stores(const campaign_plan& plan,
         const auto it = by_id.find(unit.id);
         if (it == by_id.end()) {
             merged.missing.push_back(unit.id);
+            const auto failure = failures.find(unit.id);
+            if (failure != failures.end()) {
+                merged.failed.push_back(
+                    {unit.id, failure->second.attempt_count(), failure->second.error});
+            }
             continue;
         }
         if (!it->second.record.valid) ++merged.invalid_runs;

@@ -18,11 +18,25 @@
 
 namespace qubikos::campaign {
 
+/// A plan unit with failed attempts on record but no successful run.
+struct failed_unit {
+    std::string unit_id;
+    int attempts = 0;
+    std::string error;
+};
+
 struct merged_campaign {
     /// One entry per completed plan unit, in plan (= serial) order.
+    /// Error records (failed attempts) never appear here: a unit that
+    /// later succeeded contributes only its success, so a campaign that
+    /// hit (and drained) faults merges identically to a fault-free one.
     std::vector<stored_run> runs;
-    /// IDs of plan units no store had a record for, in plan order.
+    /// IDs of plan units no store had a *successful* record for, in plan
+    /// order (units with only failed attempts are missing too).
     std::vector<std::string> missing;
+    /// The subset of missing units that have failed attempts on record
+    /// (quarantined or still retryable), in plan order.
+    std::vector<failed_unit> failed;
     /// Duplicate records dropped (consistent repeats across stores).
     std::size_t duplicates = 0;
     int invalid_runs = 0;

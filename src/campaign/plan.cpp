@@ -11,25 +11,57 @@ campaign_plan expand_plan(const campaign_spec& spec) {
     const std::vector<std::string> tools = resolved_tool_names(spec);
 
     for (std::size_t suite_index = 0; suite_index < spec.suites.size(); ++suite_index) {
-        const core::suite_spec& suite = spec.suites[suite_index];
+        const campaign_suite& suite = spec.suites[suite_index];
         if (suite.swap_counts.empty() || suite.circuits_per_count <= 0) {
             throw std::invalid_argument("campaign: empty suite in spec");
         }
-        // Mirrors core::generate_suite: instance k gets seed base_seed + k,
-        // counts iterate outer, circuits inner.
+        if (suite.family == benchmark_family::queko && spec.mode == campaign_mode::tools) {
+            // QUEKO's claimed count is 0, so tool swap *ratios* are
+            // undefined; the family's claims live in certify mode.
+            throw std::invalid_argument(
+                "campaign: queko suites support certify mode only (claimed swap count is 0)");
+        }
+        // The qubikos sweep axis is the designed count (>= 0 is valid: a
+        // 0-swap circuit); queko sweeps depth and quekno transitions,
+        // both of which must be positive to mean anything.
+        if (suite.family != benchmark_family::qubikos) {
+            for (const int v : suite.swap_counts) {
+                if (v < 1) {
+                    throw std::invalid_argument(
+                        std::string("campaign: ") + family_name(suite.family) +
+                        " sweep values must be >= 1");
+                }
+            }
+        }
+        // The family tag keeps IDs from different families disjoint; the
+        // qubikos format stays exactly the v1 format so existing stores
+        // keep resuming. Mirrors core::generate_suite seeding: instance k
+        // gets seed base_seed + k, counts iterate outer, circuits inner.
+        std::string family_tag;
+        char sweep_letter = 'n';
+        if (suite.family == benchmark_family::queko) {
+            family_tag = "queko:";
+            sweep_letter = 'd';  // depth
+        } else if (suite.family == benchmark_family::quekno) {
+            family_tag = "quekno:";
+            sweep_letter = 't';  // transitions
+        }
         std::size_t instance_index = 0;
-        for (const int swaps : suite.swap_counts) {
+        for (const int sweep : suite.swap_counts) {
             for (int i = 0; i < suite.circuits_per_count; ++i) {
                 const std::uint64_t seed = suite.base_seed + instance_index;
                 for (const auto& tool : tools) {
                     work_unit unit;
-                    unit.id = "u" + std::to_string(suite_index) + ":" + suite.arch_name + ":n" +
-                              std::to_string(swaps) + ":i" + std::to_string(i) + ":seed" +
-                              std::to_string(seed) + ":" + tool;
+                    unit.id = "u" + std::to_string(suite_index) + ":" + suite.arch_name + ":" +
+                              family_tag + sweep_letter + std::to_string(sweep) + ":i" +
+                              std::to_string(i) + ":seed" + std::to_string(seed) + ":" + tool;
                     unit.suite_index = suite_index;
                     unit.instance_index = instance_index;
                     unit.tool = tool;
-                    unit.designed_swaps = swaps;
+                    unit.family = suite.family;
+                    unit.sweep_value = sweep;
+                    unit.designed_swaps =
+                        suite.family == benchmark_family::queko ? 0 : sweep;
                     unit.instance_seed = seed;
                     plan.units.push_back(std::move(unit));
                 }

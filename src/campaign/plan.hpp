@@ -23,12 +23,20 @@
 namespace qubikos::campaign {
 
 struct work_unit {
-    /// Stable ID, e.g. "u0:aspen4:n5:i3:seed42:lightsabre".
+    /// Stable ID, e.g. "u0:aspen4:n5:i3:seed42:lightsabre" (qubikos) or
+    /// "u0:grid3x3:queko:d8:i0:seed1:exact" (family-tagged).
     std::string id;
     std::size_t suite_index = 0;
     /// Index of the instance within its suite (generation order).
     std::size_t instance_index = 0;
     std::string tool;
+    benchmark_family family = benchmark_family::qubikos;
+    /// The suite's raw sweep value for this unit: designed SWAPs
+    /// (qubikos), depth (queko) or construction transitions (quekno).
+    int sweep_value = 0;
+    /// The claimed SWAP count the family asserts for the instance:
+    /// certified optimum (qubikos), 0 (queko) or the construction upper
+    /// bound (quekno).
     int designed_swaps = 0;
     /// The generator seed of this unit's instance (base_seed + index).
     std::uint64_t instance_seed = 0;

@@ -10,19 +10,24 @@ namespace qubikos::campaign {
 
 namespace {
 
-std::string suite_banner(std::size_t index, const core::suite_spec& suite) {
+std::string suite_banner(std::size_t index, const campaign_suite& suite) {
     std::string counts;
     for (const int c : suite.swap_counts) {
         if (!counts.empty()) counts += ",";
         counts += std::to_string(c);
     }
-    return "suite " + std::to_string(index) + ": " + suite.arch_name + " (counts {" + counts +
-           "} x " + std::to_string(suite.circuits_per_count) + ", " +
+    // The family tag only appears for non-qubikos suites, so v1 reports
+    // keep their exact bytes.
+    const std::string family = suite.family == benchmark_family::qubikos
+                                   ? std::string()
+                                   : std::string(" [") + family_name(suite.family) + "]";
+    return "suite " + std::to_string(index) + ": " + suite.arch_name + family + " (counts {" +
+           counts + "} x " + std::to_string(suite.circuits_per_count) + ", " +
            std::to_string(suite.total_two_qubit_gates) + "-gate padding, seed " +
            std::to_string(suite.base_seed) + ")\n";
 }
 
-void render_tools_suite(const core::suite_spec& suite, std::size_t index,
+void render_tools_suite(const campaign_suite& suite, std::size_t index,
                         const std::vector<eval::run_record>& records,
                         const std::vector<std::string>& tools, std::string& out,
                         std::vector<eval::ratio_cell>& all_cells) {
@@ -54,12 +59,16 @@ void render_tools_suite(const core::suite_spec& suite, std::size_t index,
     all_cells.insert(all_cells.end(), cells.begin(), cells.end());
 }
 
-void render_certify_suite(const core::suite_spec& suite, std::size_t index,
+void render_certify_suite(const campaign_suite& suite, std::size_t index,
                           const std::vector<stored_run>& runs, std::string& out) {
     out += suite_banner(index, suite);
     // Per designed count: recorded / SAT at n / UNSAT at n-1 / structure /
-    // fully confirmed.
-    std::map<int, std::array<int, 5>> counts;
+    // VF2-solvable / fully confirmed. The VF2 column only renders when
+    // some run carries the probe, so pre-v2 certify reports keep their
+    // exact bytes.
+    bool any_vf2 = false;
+    for (const auto& run : runs) any_vf2 = any_vf2 || run.vf2_solvable >= 0;
+    std::map<int, std::array<int, 6>> counts;
     for (const auto& run : runs) {
         auto& c = counts[run.record.designed_swaps];
         ++c[0];
@@ -67,14 +76,20 @@ void render_certify_suite(const core::suite_spec& suite, std::size_t index,
         if (run.unsat_below == 1) ++c[2];
         if (run.structure_ok == 1) ++c[3];
         if (run.record.valid) ++c[4];
+        if (run.vf2_solvable == 1) ++c[5];
     }
-    ascii_table table(
-        {"designed n", "circuits", "SAT at n", "UNSAT at n-1", "structure ok", "confirmed"});
+    std::vector<std::string> header = {"designed n", "circuits", "SAT at n", "UNSAT at n-1",
+                                       "structure ok"};
+    if (any_vf2) header.push_back("VF2 solvable");
+    header.push_back("confirmed");
+    ascii_table table(header);
     for (const auto& [n, c] : counts) {
-        table.add(n, c[0], std::to_string(c[1]) + "/" + std::to_string(c[0]),
-                  std::to_string(c[2]) + "/" + std::to_string(c[0]),
-                  std::to_string(c[3]) + "/" + std::to_string(c[0]),
-                  std::to_string(c[4]) + "/" + std::to_string(c[0]));
+        const auto frac = [&](int k) { return std::to_string(k) + "/" + std::to_string(c[0]); };
+        if (any_vf2) {
+            table.add(n, c[0], frac(c[1]), frac(c[2]), frac(c[3]), frac(c[5]), frac(c[4]));
+        } else {
+            table.add(n, c[0], frac(c[1]), frac(c[2]), frac(c[3]), frac(c[4]));
+        }
     }
     out += table.str();
     out += "\n";
@@ -97,6 +112,28 @@ std::string render_report(const campaign_plan& plan, const merged_campaign& merg
             out += " " + merged.missing[i];
         }
         out += "\n";
+    }
+    // Rendered only when failures exist, so a drained (or fault-free)
+    // campaign's report stays byte-identical to the clean reference.
+    if (!merged.failed.empty()) {
+        const int max_attempts = spec.max_attempts < 1 ? 1 : spec.max_attempts;
+        std::size_t quarantined = 0;
+        for (const auto& f : merged.failed) {
+            if (f.attempts >= max_attempts) ++quarantined;
+        }
+        const std::size_t retryable = merged.failed.size() - quarantined;
+        out += "failed units: " + std::to_string(quarantined) + " quarantined (re-open with "
+               "`campaign run --retry-quarantined`), " + std::to_string(retryable) +
+               " retryable (a plain `campaign run` retries them)\n";
+        constexpr std::size_t listed = 5;
+        for (std::size_t i = 0; i < merged.failed.size() && i < listed; ++i) {
+            const auto& f = merged.failed[i];
+            out += "  " + f.unit_id + " (attempts " + std::to_string(f.attempts) + "): " +
+                   f.error + "\n";
+        }
+        if (merged.failed.size() > listed) {
+            out += "  ... and " + std::to_string(merged.failed.size() - listed) + " more\n";
+        }
     }
     out += "\n";
 

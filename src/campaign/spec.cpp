@@ -16,7 +16,17 @@ const std::vector<std::string>& paper_tool_names() {
     return names;
 }
 
-json::value suite_spec_to_json(const core::suite_spec& spec) {
+/// True when the spec uses any schema-v2 feature. v1 specs must keep
+/// serializing in the v1 form so their fingerprints (and the stores keyed
+/// by them) survive the schema extension.
+bool uses_v2_features(const campaign_spec& spec) {
+    if (spec.max_attempts != 2 || spec.vf2_check) return true;
+    return std::any_of(spec.suites.begin(), spec.suites.end(), [](const campaign_suite& s) {
+        return s.family != benchmark_family::qubikos;
+    });
+}
+
+json::value suite_spec_to_json(const campaign_suite& spec, bool v2) {
     json::object o;
     o["arch"] = spec.arch_name;
     json::array counts;
@@ -26,11 +36,20 @@ json::value suite_spec_to_json(const core::suite_spec& spec) {
     o["total_two_qubit_gates"] = spec.total_two_qubit_gates;
     o["single_qubit_rate"] = spec.single_qubit_rate;
     o["base_seed"] = static_cast<std::int64_t>(spec.base_seed);
+    if (v2) {
+        o["family"] = family_name(spec.family);
+        // Family knobs only where they mean something, so the canonical
+        // form does not depend on stale values of the other family.
+        if (spec.family == benchmark_family::queko) o["queko_density"] = spec.queko_density;
+        if (spec.family == benchmark_family::quekno) {
+            o["quekno_gates_per_epoch"] = spec.quekno_gates_per_epoch;
+        }
+    }
     return json::value(std::move(o));
 }
 
-core::suite_spec suite_spec_from_json(const json::value& v) {
-    core::suite_spec spec;
+campaign_suite suite_spec_from_json(const json::value& v) {
+    campaign_suite spec;
     spec.arch_name = v.at("arch").as_string();
     for (const auto& c : v.at("swap_counts").as_array()) spec.swap_counts.push_back(c.as_int());
     spec.circuits_per_count = v.at("circuits_per_count").as_int();
@@ -38,6 +57,11 @@ core::suite_spec suite_spec_from_json(const json::value& v) {
         static_cast<std::size_t>(v.at("total_two_qubit_gates").as_number());
     spec.single_qubit_rate = v.at("single_qubit_rate").as_number();
     spec.base_seed = static_cast<std::uint64_t>(v.at("base_seed").as_number());
+    if (v.contains("family")) spec.family = family_from_name(v.at("family").as_string());
+    if (v.contains("queko_density")) spec.queko_density = v.at("queko_density").as_number();
+    if (v.contains("quekno_gates_per_epoch")) {
+        spec.quekno_gates_per_epoch = v.at("quekno_gates_per_epoch").as_int();
+    }
     return spec;
 }
 
@@ -53,13 +77,31 @@ campaign_mode mode_from_name(const std::string& name) {
     throw std::invalid_argument("campaign: unknown mode '" + name + "' (tools|certify)");
 }
 
+const char* family_name(benchmark_family family) {
+    switch (family) {
+        case benchmark_family::qubikos: return "qubikos";
+        case benchmark_family::queko: return "queko";
+        case benchmark_family::quekno: return "quekno";
+    }
+    return "qubikos";
+}
+
+benchmark_family family_from_name(const std::string& name) {
+    if (name == "qubikos") return benchmark_family::qubikos;
+    if (name == "queko") return benchmark_family::queko;
+    if (name == "quekno") return benchmark_family::quekno;
+    throw std::invalid_argument("campaign: unknown family '" + name +
+                                "' (qubikos|queko|quekno)");
+}
+
 json::value spec_to_json(const campaign_spec& spec) {
+    const bool v2 = uses_v2_features(spec);
     json::object o;
-    o["schema"] = "qubikos.campaign_spec.v1";
+    o["schema"] = v2 ? "qubikos.campaign_spec.v2" : "qubikos.campaign_spec.v1";
     o["name"] = spec.name;
     o["mode"] = mode_name(spec.mode);
     json::array suites;
-    for (const auto& s : spec.suites) suites.push_back(suite_spec_to_json(s));
+    for (const auto& s : spec.suites) suites.push_back(suite_spec_to_json(s, v2));
     o["suites"] = std::move(suites);
     json::array tools;
     for (const auto& t : spec.tools) tools.push_back(t);
@@ -67,12 +109,17 @@ json::value spec_to_json(const campaign_spec& spec) {
     o["sabre_trials"] = spec.sabre_trials;
     o["toolbox_seed"] = static_cast<std::int64_t>(spec.toolbox_seed);
     o["conflict_limit"] = static_cast<std::int64_t>(spec.conflict_limit);
+    if (v2) {
+        o["max_attempts"] = spec.max_attempts;
+        o["vf2_check"] = spec.vf2_check;
+    }
     return json::value(std::move(o));
 }
 
 campaign_spec spec_from_json(const json::value& v) {
-    if (v.at("schema").as_string() != "qubikos.campaign_spec.v1") {
-        throw std::invalid_argument("campaign: unsupported spec schema");
+    const std::string schema = v.at("schema").as_string();
+    if (schema != "qubikos.campaign_spec.v1" && schema != "qubikos.campaign_spec.v2") {
+        throw std::invalid_argument("campaign: unsupported spec schema '" + schema + "'");
     }
     campaign_spec spec;
     spec.name = v.at("name").as_string();
@@ -82,6 +129,11 @@ campaign_spec spec_from_json(const json::value& v) {
     spec.sabre_trials = v.at("sabre_trials").as_int();
     spec.toolbox_seed = static_cast<std::uint64_t>(v.at("toolbox_seed").as_number());
     spec.conflict_limit = static_cast<std::uint64_t>(v.at("conflict_limit").as_number());
+    if (v.contains("max_attempts")) spec.max_attempts = v.at("max_attempts").as_int();
+    if (v.contains("vf2_check")) spec.vf2_check = v.at("vf2_check").as_bool();
+    if (spec.max_attempts < 1) {
+        throw std::invalid_argument("campaign: max_attempts must be >= 1");
+    }
     return spec;
 }
 

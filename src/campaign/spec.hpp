@@ -4,10 +4,17 @@
 // A campaign_spec names a set of suites (one per architecture sweep), the
 // tools to run on them and the knobs (trial counts, seeds). It is pure
 // data with a canonical JSON form, so the same spec file drives
-//   qubikos_cli campaign plan | run | merge | report
+//   qubikos_cli campaign plan | run | merge | report | status
 // and every process that touches a campaign — a shard worker on another
 // machine, the merger, a resumed run after a crash — can verify it is
 // working on the *same* experiment via a stable fingerprint.
+//
+// Schema v2 adds the benchmark *family* per suite (the paper's contrast
+// set: QUBIKOS certified optima vs QUEKO zero-swap / QUEKNO upper-bound
+// circuits), fault-handling knobs (max_attempts) and the optional VF2
+// solvability probe. A spec that uses none of the v2 features serializes
+// in the v1 form byte for byte, so its fingerprint — and therefore every
+// existing result store — is preserved.
 #pragma once
 
 #include <cstdint>
@@ -22,15 +29,39 @@ namespace qubikos::campaign {
 /// What a work unit does:
 ///   tools   — run a heuristic QLS tool and record its swap count
 ///             (the Fig. 4 / Table II experiments);
-///   certify — run the exact solver at n and n-1 and record whether the
-///             designed count is confirmed (the Sec. IV-A study).
+///   certify — run the family's claim checks (exact solver, VF2,
+///             structure) and record whether the claim is confirmed
+///             (Sec. IV-A / the benchmark-contrast study).
 enum class campaign_mode { tools, certify };
+
+/// Benchmark family of a suite (Sec. I / Sec. III-C contrast set):
+///   qubikos — certified optimal SWAP count (this paper);
+///   queko   — known-optimal depth, 0 SWAPs, VF2-solvable (Tan & Cong);
+///   quekno  — construction cost is an unproven upper bound (Li et al.).
+enum class benchmark_family { qubikos, queko, quekno };
+
+/// One suite of a campaign: a core::suite_spec plus the benchmark family
+/// and the family-specific generator knobs. The meaning of `swap_counts`
+/// follows the family: designed optimal SWAPs (qubikos), circuit depth
+/// (queko), construction SWAP transitions = the claimed upper bound
+/// (quekno). Implicitly convertible from core::suite_spec (family
+/// qubikos), so v1 call sites stay source-compatible.
+struct campaign_suite : core::suite_spec {
+    campaign_suite() = default;
+    campaign_suite(const core::suite_spec& base) : core::suite_spec(base) {}  // NOLINT(*-explicit-*)
+
+    benchmark_family family = benchmark_family::qubikos;
+    /// QUEKO: expected fraction of a random matching filled per layer.
+    double queko_density = 0.5;
+    /// QUEKNO: two-qubit gates emitted per mapping epoch.
+    int quekno_gates_per_epoch = 20;
+};
 
 struct campaign_spec {
     std::string name = "campaign";
     campaign_mode mode = campaign_mode::tools;
     /// One entry per (architecture, sweep); expanded in order.
-    std::vector<core::suite_spec> suites;
+    std::vector<campaign_suite> suites;
     /// Tool names to run (subset of the paper toolbox); empty = all four.
     /// Ignored in certify mode (the single "exact" pseudo-tool runs).
     std::vector<std::string> tools;
@@ -38,13 +69,27 @@ struct campaign_spec {
     std::uint64_t toolbox_seed = 1;
     /// Per-SAT-call conflict budget in certify mode (0 = unlimited).
     std::uint64_t conflict_limit = 0;
+    /// Execution attempts a unit gets before it is quarantined (a failing
+    /// unit is recorded with an error and retried; once quarantined it is
+    /// skipped until a worker runs with retry_quarantined).
+    int max_attempts = 2;
+    /// Certify mode: also record whether VF2 subgraph monomorphism solves
+    /// each instance (the QUEKO-vs-QUBIKOS contrast probe). QUEKO suites
+    /// always run it — VF2 solvability *is* their claim.
+    bool vf2_check = false;
 };
 
 [[nodiscard]] const char* mode_name(campaign_mode mode);
 [[nodiscard]] campaign_mode mode_from_name(const std::string& name);
 
+[[nodiscard]] const char* family_name(benchmark_family family);
+[[nodiscard]] benchmark_family family_from_name(const std::string& name);
+
 /// Canonical JSON form (round-trips exactly through spec_from_json).
+/// Emits the v1 schema unless a v2 feature is used (non-qubikos family,
+/// non-default max_attempts, vf2_check), so v1 fingerprints are stable.
 [[nodiscard]] json::value spec_to_json(const campaign_spec& spec);
+/// Accepts both the v1 and v2 schema.
 [[nodiscard]] campaign_spec spec_from_json(const json::value& v);
 
 [[nodiscard]] campaign_spec load_spec(const std::string& path);

@@ -1,0 +1,116 @@
+#include "campaign/status.hpp"
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace qubikos::campaign {
+
+namespace {
+
+enum class unit_state { done, retryable, quarantined, pending };
+
+unit_state classify(const unit_status& status, int max_attempts) {
+    if (status.succeeded) return unit_state::done;
+    if (status.failed_attempts == 0) return unit_state::pending;
+    return status.failed_attempts >= max_attempts ? unit_state::quarantined
+                                                  : unit_state::retryable;
+}
+
+void count(status_counts& counts, unit_state state) {
+    switch (state) {
+        case unit_state::done: ++counts.done; break;
+        case unit_state::retryable: ++counts.retryable; break;
+        case unit_state::quarantined: ++counts.quarantined; break;
+        case unit_state::pending: ++counts.pending; break;
+    }
+}
+
+std::string counts_line(const status_counts& c) {
+    return std::to_string(c.done) + " done, " + std::to_string(c.retryable) + " retryable, " +
+           std::to_string(c.quarantined) + " quarantined, " + std::to_string(c.pending) +
+           " pending";
+}
+
+}  // namespace
+
+campaign_status probe_status(const campaign_plan& plan, const std::vector<stored_run>& runs,
+                             const status_options& options) {
+    if (options.num_shards < 1) {
+        throw std::invalid_argument("campaign: status num_shards must be >= 1");
+    }
+    const int max_attempts = plan.spec.max_attempts < 1 ? 1 : plan.spec.max_attempts;
+    const auto statuses = unit_statuses(runs);
+
+    campaign_status status;
+    status.shards.resize(static_cast<std::size_t>(options.num_shards));
+    for (std::size_t index = 0; index < plan.units.size(); ++index) {
+        const work_unit& unit = plan.units[index];
+        unit_status per_unit;
+        const auto it = statuses.find(unit.id);
+        if (it != statuses.end()) per_unit = it->second;
+        const unit_state state = classify(per_unit, max_attempts);
+        count(status.totals, state);
+        count(status.shards[index % status.shards.size()], state);
+        count(status.cells[{unit.suite_index, unit.tool}], state);
+        if (state == unit_state::quarantined) {
+            status.quarantined_units.push_back(
+                {unit.id, per_unit.failed_attempts, per_unit.last_error});
+        }
+    }
+    return status;
+}
+
+std::string render_status(const campaign_plan& plan, const campaign_status& status,
+                          const status_options& options) {
+    const campaign_spec& spec = plan.spec;
+    const int max_attempts = spec.max_attempts < 1 ? 1 : spec.max_attempts;
+
+    std::string out;
+    out += "campaign status: " + spec.name + " (mode " + mode_name(spec.mode) +
+           ", fingerprint " + spec_fingerprint(spec) + ")\n";
+    out += "units: " + counts_line(status.totals) + ", of " +
+           std::to_string(status.totals.total()) + " total\n";
+
+    if (status.shards.size() > 1) {
+        out += "shards (" + std::to_string(status.shards.size()) + "):\n";
+        for (std::size_t shard = 0; shard < status.shards.size(); ++shard) {
+            const auto& c = status.shards[shard];
+            out += "  shard " + std::to_string(shard) + "/" +
+                   std::to_string(status.shards.size()) + ": " + counts_line(c) + "  (" +
+                   std::to_string(c.total()) + " assigned)\n";
+        }
+    }
+
+    ascii_table table({"suite", "tool", "done", "retryable", "quarantined", "pending"});
+    for (const auto& [key, c] : status.cells) {
+        const campaign_suite& suite = spec.suites[key.first];
+        std::string label = std::to_string(key.first) + ":" + suite.arch_name;
+        if (suite.family != benchmark_family::qubikos) {
+            label += std::string(":") + family_name(suite.family);
+        }
+        table.add(label, key.second, std::to_string(c.done) + "/" + std::to_string(c.total()),
+                  c.retryable, c.quarantined, c.pending);
+    }
+    out += table.str();
+
+    if (!status.quarantined_units.empty()) {
+        out += "quarantined units (attempt budget " + std::to_string(max_attempts) +
+               " exhausted; re-open with `campaign run --retry-quarantined`):\n";
+        const std::size_t limit = options.max_quarantined_listed == 0
+                                      ? status.quarantined_units.size()
+                                      : options.max_quarantined_listed;
+        for (std::size_t i = 0; i < status.quarantined_units.size() && i < limit; ++i) {
+            const auto& q = status.quarantined_units[i];
+            out += "  " + q.unit_id + " (attempts " + std::to_string(q.attempts) + "): " +
+                   q.error + "\n";
+        }
+        if (status.quarantined_units.size() > limit) {
+            out += "  ... and " + std::to_string(status.quarantined_units.size() - limit) +
+                   " more\n";
+        }
+    }
+    return out;
+}
+
+}  // namespace qubikos::campaign

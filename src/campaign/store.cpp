@@ -1,5 +1,6 @@
 #include "campaign/store.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -81,6 +82,13 @@ json::value run_to_json(const stored_run& run) {
     if (run.sat_at_n >= 0) o["sat_at_n"] = run.sat_at_n;
     if (run.unsat_below >= 0) o["unsat_below"] = run.unsat_below;
     if (run.structure_ok >= 0) o["structure_ok"] = run.structure_ok;
+    // v2 fields are emitted only when they carry information: a
+    // first-attempt success writes the v1 byte layout exactly, so a
+    // fault-free v2 store is byte-comparable with a v1 store of the same
+    // spec. Failed attempts always record their attempt number.
+    if (run.vf2_solvable >= 0) o["vf2_solvable"] = run.vf2_solvable;
+    if (run.attempt > 1 || (run.failed() && run.attempt > 0)) o["attempt"] = run.attempt;
+    if (!run.error.empty()) o["error"] = run.error;
     return json::value(std::move(o));
 }
 
@@ -96,6 +104,9 @@ stored_run run_from_json(const json::value& v) {
     if (v.contains("sat_at_n")) run.sat_at_n = v.at("sat_at_n").as_int();
     if (v.contains("unsat_below")) run.unsat_below = v.at("unsat_below").as_int();
     if (v.contains("structure_ok")) run.structure_ok = v.at("structure_ok").as_int();
+    if (v.contains("vf2_solvable")) run.vf2_solvable = v.at("vf2_solvable").as_int();
+    if (v.contains("attempt")) run.attempt = v.at("attempt").as_int();
+    if (v.contains("error")) run.error = v.at("error").as_string();
     return run;
 }
 
@@ -146,7 +157,7 @@ result_store::result_store(const std::string& directory, const campaign_spec& sp
         const std::string content = read_file(runs_path_);
         std::vector<stored_run> runs;
         const std::size_t valid_end = parse_runs(content, runs_path_, runs);
-        for (auto& run : runs) completed_.insert(std::move(run.unit_id));
+        for (const auto& run : runs) note(run);
         // Truncate a torn tail so the next append starts on a clean line.
         if (valid_end < content.size()) {
             std::filesystem::resize_file(runs_path_, valid_end);
@@ -173,10 +184,20 @@ result_store::~result_store() {
     }
 }
 
+void result_store::note(const stored_run& run) {
+    fold_unit_status(statuses_[run.unit_id], run);
+    if (!run.failed()) completed_.insert(run.unit_id);
+}
+
+unit_status result_store::status(const std::string& unit_id) const {
+    const auto it = statuses_.find(unit_id);
+    return it == statuses_.end() ? unit_status{} : it->second;
+}
+
 void result_store::append(const stored_run& run) {
     buffer_ += run_to_json(run).dump();
     buffer_ += '\n';
-    completed_.insert(run.unit_id);
+    note(run);
 }
 
 void result_store::flush() {
@@ -217,6 +238,21 @@ std::string result_store::load_meta_fingerprint(const std::string& directory) {
     const std::filesystem::path path = std::filesystem::path(directory) / "meta.json";
     const json::value meta = json::parse(read_file(path));
     return meta.at("fingerprint").as_string();
+}
+
+void fold_unit_status(unit_status& status, const stored_run& run) {
+    if (run.failed()) {
+        status.failed_attempts = std::max(status.failed_attempts + 1, run.attempt);
+        status.last_error = run.error;
+    } else {
+        status.succeeded = true;
+    }
+}
+
+std::unordered_map<std::string, unit_status> unit_statuses(const std::vector<stored_run>& runs) {
+    std::unordered_map<std::string, unit_status> statuses;
+    for (const auto& run : runs) fold_unit_status(statuses[run.unit_id], run);
+    return statuses;
 }
 
 }  // namespace qubikos::campaign

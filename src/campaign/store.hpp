@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -26,19 +27,45 @@
 
 namespace qubikos::campaign {
 
-/// One completed work unit as stored on disk. `record.seconds` is
-/// per-record thread-CPU time (see eval::evaluate_suite) — the only
-/// nondeterministic field; everything else must agree between any two
-/// runs of the same unit, and the merger enforces that.
+/// One stored record: either a completed work unit, or one *failed
+/// attempt* at a unit (`error` nonempty — the tool or generator threw;
+/// the record carries the message and the attempt number instead of a
+/// result). `record.seconds` is per-record thread-CPU time (see
+/// eval::evaluate_suite) — the only nondeterministic field of a completed
+/// unit; everything else must agree between any two runs of the same
+/// unit, and the merger enforces that. attempt/error never participate in
+/// that check (how often a unit failed before succeeding is not part of
+/// the experiment). Records written before these fields existed (store
+/// v1) simply lack the keys and load as attempt 0 / no error.
 struct stored_run {
     std::string unit_id;
     eval::run_record record;
     /// Certify-mode detail (-1 when not a certify run): did the exact
     /// solver find the instance SAT at n / UNSAT at n-1, and did the
-    /// structural verifier pass?
+    /// structural verifier pass? For quekno units "UNSAT at n-1" means
+    /// the construction bound is tight.
     int sat_at_n = -1;
     int unsat_below = -1;
     int structure_ok = -1;
+    /// Certify-mode VF2 probe (-1 when not run): does plain subgraph
+    /// monomorphism solve the instance with 0 swaps? Expected 1 for
+    /// queko, 0 for qubikos.
+    int vf2_solvable = -1;
+    /// Which execution attempt produced this record (0 = pre-v2 record).
+    int attempt = 0;
+    /// Nonempty = this is a failed attempt, not a result.
+    std::string error;
+
+    [[nodiscard]] bool failed() const { return !error.empty(); }
+};
+
+/// What a store knows about one unit ID after replaying runs.jsonl.
+struct unit_status {
+    bool succeeded = false;
+    /// Failed attempts on record (max of the attempt numbers seen and
+    /// the count of error records, so hand-edited files stay sane).
+    int failed_attempts = 0;
+    std::string last_error;
 };
 
 [[nodiscard]] json::value run_to_json(const stored_run& run);
@@ -57,10 +84,17 @@ public:
     result_store& operator=(const result_store&) = delete;
 
     [[nodiscard]] const std::string& directory() const { return directory_; }
+    /// Unit IDs with a *successful* record (failed attempts don't count).
     [[nodiscard]] const std::unordered_set<std::string>& completed() const { return completed_; }
     [[nodiscard]] bool is_complete(const std::string& unit_id) const {
         return completed_.count(unit_id) > 0;
     }
+    /// Per-unit success/attempt bookkeeping (only units with records).
+    [[nodiscard]] const std::unordered_map<std::string, unit_status>& statuses() const {
+        return statuses_;
+    }
+    /// Status of one unit (default-constructed when it has no records).
+    [[nodiscard]] unit_status status(const std::string& unit_id) const;
 
     /// Buffers one record (not yet durable until flush()).
     void append(const stored_run& run);
@@ -81,11 +115,26 @@ public:
     [[nodiscard]] static std::string load_meta_fingerprint(const std::string& directory);
 
 private:
+    void note(const stored_run& run);
+
     std::string directory_;
     std::string runs_path_;
     std::FILE* file_ = nullptr;
     std::string buffer_;
     std::unordered_set<std::string> completed_;
+    std::unordered_map<std::string, unit_status> statuses_;
 };
+
+/// Folds one record into a unit's status — THE attempt-counting rule
+/// (failed_attempts = max of error-record count and attempt numbers
+/// seen). Shared by the store's replay bookkeeping and unit_statuses so
+/// resume admission, `campaign status` and the merge report can never
+/// disagree on what counts as an attempt.
+void fold_unit_status(unit_status& status, const stored_run& run);
+
+/// Folds a run list into per-unit statuses (the read-only counterpart of
+/// result_store's bookkeeping, for `campaign status` and the merger).
+[[nodiscard]] std::unordered_map<std::string, unit_status> unit_statuses(
+    const std::vector<stored_run>& runs);
 
 }  // namespace qubikos::campaign

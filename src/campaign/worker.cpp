@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
 #include <stdexcept>
 
 #include "arch/architectures.hpp"
+#include "circuit/interaction.hpp"
 #include "core/qubikos.hpp"
+#include "core/queko.hpp"
+#include "core/quekno.hpp"
 #include "core/verifier.hpp"
 #include "eval/harness.hpp"
 #include "exact/olsq.hpp"
+#include "graph/vf2.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -16,89 +23,258 @@ namespace qubikos::campaign {
 
 namespace {
 
-/// Prebuilt read-only execution context shared by every unit of a run:
-/// device graphs and the tool lineup are constructed once, units only
-/// read them.
-class unit_executor {
-public:
-    explicit unit_executor(const campaign_spec& spec) : spec_(&spec) {
-        devices_.reserve(spec.suites.size());
-        for (const auto& suite : spec.suites) devices_.push_back(arch::by_name(suite.arch_name));
+/// Deterministic fault hook for drills and CI: any unit whose ID contains
+/// the value of QUBIKOS_CAMPAIGN_FAULT_UNIT throws instead of executing.
+bool fault_injected(const work_unit& unit) {
+    const char* pattern = std::getenv("QUBIKOS_CAMPAIGN_FAULT_UNIT");
+    return pattern != nullptr && *pattern != '\0' && unit.id.find(pattern) != std::string::npos;
+}
+
+/// True when every two-qubit gate of `logical` acts on coupling-adjacent
+/// physical qubits under `witness` — the QUEKO hidden mapping's claim.
+bool witness_executes(const circuit& logical, const mapping& witness, const graph& coupling) {
+    for (const auto& g : logical.gates()) {
+        if (!g.is_two_qubit()) continue;
+        if (!coupling.has_edge(witness.physical(g.q0), witness.physical(g.q1))) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+struct unit_executor::impl {
+    explicit impl(const campaign_spec& s) : spec(s) {
+        devices.reserve(spec.suites.size());
+        for (const auto& suite : spec.suites) devices.push_back(arch::by_name(suite.arch_name));
         if (spec.mode == campaign_mode::tools) {
             eval::toolbox_options toolbox;
             toolbox.sabre_trials = spec.sabre_trials;
             toolbox.seed = spec.toolbox_seed;
             toolbox.sabre.threads = 1;  // suite-level parallelism only
-            tools_ = eval::paper_toolbox(toolbox);
+            tools = eval::paper_toolbox(toolbox);
         }
     }
 
-    [[nodiscard]] stored_run execute(const work_unit& unit) const {
-        const core::suite_spec& suite = spec_->suites[unit.suite_index];
-        const arch::architecture& device = devices_[unit.suite_index];
+    [[nodiscard]] const eval::tool& tool_named(const std::string& name) const {
+        const auto it = std::find_if(tools.begin(), tools.end(),
+                                     [&](const eval::tool& t) { return t.name == name; });
+        if (it == tools.end()) {
+            throw std::logic_error("campaign: plan references unknown tool " + name);
+        }
+        return *it;
+    }
 
+    void execute_qubikos(const work_unit& unit, const campaign_suite& suite,
+                         const arch::architecture& device, stored_run& run) const {
         core::generator_options generator;
-        generator.num_swaps = unit.designed_swaps;
+        generator.num_swaps = unit.sweep_value;
         generator.total_two_qubit_gates = suite.total_two_qubit_gates;
         generator.single_qubit_rate = suite.single_qubit_rate;
         generator.seed = unit.instance_seed;
         const core::benchmark_instance instance = core::generate(device, generator);
+        // Never silently trust the generator: a claimed count that
+        // contradicts the plan would poison every downstream ratio.
+        if (instance.optimal_swaps != unit.designed_swaps) {
+            throw std::runtime_error(
+                "campaign: generator produced optimal_swaps=" +
+                std::to_string(instance.optimal_swaps) + " for unit " + unit.id +
+                " (plan says " + std::to_string(unit.designed_swaps) + ")");
+        }
 
-        stored_run run;
-        run.unit_id = unit.id;
+        if (spec.mode == campaign_mode::tools) {
+            // The exact per-pair primitive of eval::evaluate_suite, so
+            // store records and serial harness records agree by
+            // construction (it fills tool and designed_swaps itself).
+            run.record = eval::run_tool_record(tool_named(unit.tool), instance, device);
+            return;
+        }
+
         run.record.tool = unit.tool;
         run.record.designed_swaps = instance.optimal_swaps;
-        if (spec_->mode == campaign_mode::certify) {
-            execute_certify(instance, device, run);
-        } else {
-            execute_tool(instance, device, unit, run);
-        }
-        return run;
-    }
-
-private:
-    void execute_tool(const core::benchmark_instance& instance,
-                      const arch::architecture& device, const work_unit& unit,
-                      stored_run& run) const {
-        const auto it = std::find_if(tools_.begin(), tools_.end(),
-                                     [&](const eval::tool& t) { return t.name == unit.tool; });
-        if (it == tools_.end()) {
-            throw std::logic_error("campaign: plan references unknown tool " + unit.tool);
-        }
-        // The exact per-pair primitive of eval::evaluate_suite, so store
-        // records and serial harness records agree by construction.
-        run.record = eval::run_tool_record(*it, instance, device);
-    }
-
-    void execute_certify(const core::benchmark_instance& instance,
-                         const arch::architecture& device, stored_run& run) const {
         const bool structure_ok = core::verify_structure(instance, device).valid;
+        bool vf2_expectation_met = true;
+        if (spec.vf2_check) {
+            // QUBIKOS's claim is that plain subgraph monomorphism CANNOT
+            // place these circuits (Sec. III-C).
+            const bool vf2_ok =
+                is_subgraph_monomorphic(interaction_graph(instance.logical), device.coupling);
+            run.vf2_solvable = vf2_ok ? 1 : 0;
+            vf2_expectation_met = !vf2_ok;
+        }
         const int swaps = instance.optimal_swaps;
         cpu_stopwatch timer;
         const bool sat =
             exact::check_swap_count(instance.logical, device.coupling, swaps,
-                                    spec_->conflict_limit) == exact::feasibility::feasible;
+                                    spec.conflict_limit) == exact::feasibility::feasible;
         const bool unsat =
             swaps == 0 ||
             exact::check_swap_count(instance.logical, device.coupling, swaps - 1,
-                                    spec_->conflict_limit) == exact::feasibility::infeasible;
+                                    spec.conflict_limit) == exact::feasibility::infeasible;
         run.record.seconds = timer.seconds();
         run.sat_at_n = sat ? 1 : 0;
         run.unsat_below = unsat ? 1 : 0;
         run.structure_ok = structure_ok ? 1 : 0;
-        run.record.valid = sat && unsat && structure_ok;
+        run.record.valid = sat && unsat && structure_ok && vf2_expectation_met;
         run.record.measured_swaps = sat ? static_cast<std::size_t>(swaps) : 0;
     }
 
-    const campaign_spec* spec_;
-    std::vector<arch::architecture> devices_;
-    std::vector<eval::tool> tools_;
+    void execute_queko(const work_unit& unit, const campaign_suite& suite,
+                       const arch::architecture& device, stored_run& run) const {
+        core::queko_options options;
+        options.depth = unit.sweep_value;
+        options.density = suite.queko_density;
+        options.seed = unit.instance_seed;
+        const core::queko_instance instance = core::generate_queko(device, options);
+
+        // QUEKO's claims (Tan & Cong): the hidden mapping executes every
+        // gate in place (0 swaps), and VF2 alone recovers such a mapping.
+        run.record.tool = unit.tool;
+        run.record.designed_swaps = 0;
+        const bool structure_ok =
+            witness_executes(instance.logical, instance.hidden_mapping, device.coupling);
+        const bool vf2_ok =
+            is_subgraph_monomorphic(interaction_graph(instance.logical), device.coupling);
+        run.vf2_solvable = vf2_ok ? 1 : 0;
+        cpu_stopwatch timer;
+        const bool sat = exact::check_swap_count(instance.logical, device.coupling, 0,
+                                                 spec.conflict_limit) ==
+                         exact::feasibility::feasible;
+        run.record.seconds = timer.seconds();
+        run.sat_at_n = sat ? 1 : 0;
+        run.unsat_below = 1;  // vacuous at n = 0
+        run.structure_ok = structure_ok ? 1 : 0;
+        run.record.valid = sat && structure_ok && vf2_ok;
+        run.record.measured_swaps = 0;
+    }
+
+    void execute_quekno(const work_unit& unit, const campaign_suite& suite,
+                        const arch::architecture& device, stored_run& run) const {
+        core::quekno_options options;
+        options.num_transitions = unit.sweep_value;
+        options.gates_per_epoch = suite.quekno_gates_per_epoch;
+        options.seed = unit.instance_seed;
+        const core::quekno_instance instance = core::generate_quekno(device, options);
+        if (instance.construction_swaps != unit.designed_swaps) {
+            throw std::runtime_error(
+                "campaign: quekno construction used " +
+                std::to_string(instance.construction_swaps) + " swaps for unit " + unit.id +
+                " (plan says " + std::to_string(unit.designed_swaps) + ")");
+        }
+
+        if (spec.mode == campaign_mode::tools) {
+            // Tools see the logical circuit; the "designed" denominator is
+            // the construction's (unproven) upper bound, so ratios below
+            // 1 are possible — exactly the family's weakness.
+            core::benchmark_instance shim;
+            shim.arch_name = device.name;
+            shim.seed = unit.instance_seed;
+            shim.optimal_swaps = instance.construction_swaps;
+            shim.logical = instance.logical;
+            run.record = eval::run_tool_record(tool_named(unit.tool), shim, device);
+            return;
+        }
+
+        // Certify: verify the construction really is a valid routing at
+        // the claimed cost (structure), find the true optimum under the
+        // claimed bound (sat — the construction witnesses feasibility),
+        // and record whether the bound is tight ("UNSAT below n").
+        run.record.tool = unit.tool;
+        run.record.designed_swaps = instance.construction_swaps;
+        const auto construction_report =
+            validate_routed(instance.logical, instance.construction, device.coupling);
+        const bool structure_ok =
+            construction_report.valid &&
+            construction_report.swap_count ==
+                static_cast<std::size_t>(instance.construction_swaps);
+        if (spec.vf2_check) {
+            run.vf2_solvable =
+                is_subgraph_monomorphic(interaction_graph(instance.logical), device.coupling)
+                    ? 1
+                    : 0;
+        }
+        exact::olsq_options solver;
+        solver.max_swaps = instance.construction_swaps;
+        solver.conflict_limit = spec.conflict_limit;
+        cpu_stopwatch timer;
+        const auto exact = exact::solve_optimal(instance.logical, device.coupling, solver);
+        run.record.seconds = timer.seconds();
+        const bool sat = exact.solved;
+        run.sat_at_n = sat ? 1 : 0;
+        run.unsat_below = sat && exact.optimal_swaps == instance.construction_swaps ? 1 : 0;
+        run.structure_ok = structure_ok ? 1 : 0;
+        run.record.valid = sat && structure_ok;
+        run.record.measured_swaps = sat ? static_cast<std::size_t>(exact.optimal_swaps) : 0;
+    }
+
+    campaign_spec spec;
+    std::vector<arch::architecture> devices;
+    std::vector<eval::tool> tools;
 };
 
-}  // namespace
+unit_executor::unit_executor(const campaign_spec& spec) : impl_(std::make_unique<impl>(spec)) {}
+
+unit_executor::~unit_executor() = default;
+
+stored_run unit_executor::execute(const work_unit& unit) const {
+    if (fault_injected(unit)) {
+        throw std::runtime_error("campaign: injected fault for unit " + unit.id +
+                                 " (QUBIKOS_CAMPAIGN_FAULT_UNIT)");
+    }
+    const campaign_suite& suite = impl_->spec.suites[unit.suite_index];
+    const arch::architecture& device = impl_->devices[unit.suite_index];
+
+    stored_run run;
+    run.unit_id = unit.id;
+    switch (unit.family) {
+        case benchmark_family::qubikos: impl_->execute_qubikos(unit, suite, device, run); break;
+        case benchmark_family::queko: impl_->execute_queko(unit, suite, device, run); break;
+        case benchmark_family::quekno: impl_->execute_quekno(unit, suite, device, run); break;
+    }
+    return run;
+}
+
+stored_run unit_executor::execute_captured(const work_unit& unit, int attempt) const {
+    const auto error_record = [&](const std::string& message) {
+        stored_run run;
+        run.unit_id = unit.id;
+        run.record.tool = unit.tool;
+        run.record.designed_swaps = unit.designed_swaps;
+        run.record.valid = false;
+        run.attempt = attempt;
+        run.error = message;
+        return run;
+    };
+    try {
+        stored_run run = execute(unit);
+        run.attempt = attempt;
+        return run;
+    } catch (const std::exception& e) {
+        return error_record(e.what());
+    } catch (...) {
+        // The never-throws contract must hold for non-std exceptions
+        // too, or one weird throw still kills the whole shard.
+        return error_record("campaign: unit threw a non-std exception");
+    }
+}
 
 stored_run execute_unit(const campaign_spec& spec, const work_unit& unit) {
-    return unit_executor(spec).execute(unit);
+    // One-off executions reuse the last-built context: rebuilding the
+    // full toolbox and every device graph per call made single-unit use
+    // (tests, spot checks) pay the whole campaign's setup each time.
+    static std::mutex mutex;
+    static std::string cached_fingerprint;                  // NOLINT: guarded by mutex
+    static std::shared_ptr<const unit_executor> cached;     // NOLINT: guarded by mutex
+    std::shared_ptr<const unit_executor> executor;
+    const std::string fingerprint = spec_fingerprint(spec);
+    {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (cached == nullptr || cached_fingerprint != fingerprint) {
+            cached = std::make_shared<const unit_executor>(spec);
+            cached_fingerprint = fingerprint;
+        }
+        executor = cached;
+    }
+    return executor->execute(unit);
 }
 
 worker_report run_campaign_shard(const campaign_plan& plan, const std::string& store_dir,
@@ -109,50 +285,93 @@ worker_report run_campaign_shard(const campaign_plan& plan, const std::string& s
     if (options.batch_size == 0) {
         throw std::invalid_argument("campaign: worker batch_size must be >= 1");
     }
+    const int max_attempts = std::max(1, plan.spec.max_attempts);
 
     result_store store(store_dir, plan.spec);
     const std::vector<std::size_t> owned =
         shard_indices(plan.units.size(), options.shard, options.num_shards);
 
-    std::vector<std::size_t> pending;
-    pending.reserve(owned.size());
-    for (const std::size_t index : owned) {
-        if (!store.is_complete(plan.units[index].id)) pending.push_back(index);
-    }
+    // A pending entry tracks how many attempts the unit has consumed and
+    // how many it is allowed in total: max_attempts for fresh/retryable
+    // units, one more max_attempts round on top of its history for a
+    // re-opened quarantined unit.
+    struct pending_unit {
+        std::size_t unit_index;
+        int attempts;
+        int allowed;
+    };
+    std::deque<pending_unit> queue;
 
     worker_report report;
     report.assigned = owned.size();
-    report.skipped = owned.size() - pending.size();
-    const std::size_t limit =
-        options.max_units == 0 ? pending.size() : std::min(options.max_units, pending.size());
-    report.remaining = pending.size() - limit;
-    if (limit == 0) return report;
+    for (const std::size_t index : owned) {
+        const unit_status status = store.status(plan.units[index].id);
+        if (status.succeeded) {
+            ++report.skipped;
+            continue;
+        }
+        if (status.failed_attempts >= max_attempts && !options.retry_quarantined) {
+            ++report.quarantined;
+            continue;
+        }
+        const int allowed = status.failed_attempts >= max_attempts
+                                ? status.failed_attempts + max_attempts
+                                : max_attempts;
+        queue.push_back({index, status.failed_attempts, allowed});
+    }
+    if (queue.empty()) return report;
 
     const unit_executor executor(plan.spec);
     thread_pool pool(
         std::min(thread_pool::resolve_threads(static_cast<std::size_t>(options.threads)),
-                 std::min(options.batch_size, limit)));
+                 std::min(options.batch_size, queue.size())));
 
+    std::vector<pending_unit> batch;
     std::vector<stored_run> results;
-    for (std::size_t start = 0; start < limit; start += options.batch_size) {
-        const std::size_t end = std::min(start + options.batch_size, limit);
-        results.assign(end - start, {});
-        pool.parallel_for(start, end, [&](std::size_t i) {
-            results[i - start] = executor.execute(plan.units[pending[i]]);
+    while (!queue.empty() && (options.max_units == 0 || report.executed < options.max_units)) {
+        std::size_t width = std::min(options.batch_size, queue.size());
+        if (options.max_units != 0) {
+            width = std::min(width, options.max_units - report.executed);
+        }
+        batch.assign(queue.begin(),
+                     queue.begin() + static_cast<std::ptrdiff_t>(width));
+        queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(width));
+        results.assign(width, {});
+        // execute_captured never throws, so one poisoned unit cannot
+        // abort the parallel batch (or the shard).
+        pool.parallel_for(0, width, [&](std::size_t i) {
+            results[i] =
+                executor.execute_captured(plan.units[batch[i].unit_index], batch[i].attempts + 1);
         });
         // Append in unit order and make the whole batch durable at once.
-        for (const auto& run : results) {
-            if (!run.record.valid) ++report.invalid_runs;
+        for (std::size_t i = 0; i < width; ++i) {
+            const stored_run& run = results[i];
+            if (run.failed()) {
+                ++report.failed_attempts;
+                if (run.attempt < batch[i].allowed) {
+                    queue.push_back({batch[i].unit_index, run.attempt, batch[i].allowed});
+                } else {
+                    ++report.quarantined;
+                }
+            } else if (!run.record.valid) {
+                ++report.invalid_runs;
+            }
             store.append(run);
             if (options.verbose) {
-                std::printf("  [%s] %s swaps=%zu valid=%d %.3fs\n", run.record.tool.c_str(),
-                            run.unit_id.c_str(), run.record.measured_swaps,
-                            run.record.valid ? 1 : 0, run.record.seconds);
+                if (run.failed()) {
+                    std::printf("  [%s] %s attempt=%d FAILED: %s\n", run.record.tool.c_str(),
+                                run.unit_id.c_str(), run.attempt, run.error.c_str());
+                } else {
+                    std::printf("  [%s] %s swaps=%zu valid=%d %.3fs\n", run.record.tool.c_str(),
+                                run.unit_id.c_str(), run.record.measured_swaps,
+                                run.record.valid ? 1 : 0, run.record.seconds);
+                }
             }
         }
         store.flush();
-        report.executed += end - start;
+        report.executed += width;
     }
+    report.remaining = queue.size();
     return report;
 }
 

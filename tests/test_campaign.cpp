@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -14,10 +15,16 @@
 #include "campaign/plan.hpp"
 #include "campaign/report.hpp"
 #include "campaign/spec.hpp"
+#include "campaign/status.hpp"
 #include "campaign/store.hpp"
 #include "campaign/worker.hpp"
+#include "circuit/interaction.hpp"
+#include "core/queko.hpp"
+#include "core/quekno.hpp"
 #include "core/suite.hpp"
 #include "eval/harness.hpp"
+#include "exact/olsq.hpp"
+#include "graph/vf2.hpp"
 
 namespace qubikos {
 namespace {
@@ -44,6 +51,18 @@ std::string scratch_dir(const std::string& name) {
     std::filesystem::create_directories(dir);
     return dir.string();
 }
+
+/// Scoped QUBIKOS_CAMPAIGN_FAULT_UNIT, so a failing test can't leak the
+/// fault hook into later tests.
+class scoped_fault {
+public:
+    explicit scoped_fault(const std::string& pattern) {
+        ::setenv("QUBIKOS_CAMPAIGN_FAULT_UNIT", pattern.c_str(), 1);
+    }
+    ~scoped_fault() { ::unsetenv("QUBIKOS_CAMPAIGN_FAULT_UNIT"); }
+    scoped_fault(const scoped_fault&) = delete;
+    scoped_fault& operator=(const scoped_fault&) = delete;
+};
 
 TEST(campaign_spec, json_round_trip_and_fingerprint) {
     const auto spec = campaign::example_spec();
@@ -326,6 +345,318 @@ TEST(campaign_certify, confirms_designed_counts) {
     }
     const auto rendered = campaign::render_report(plan, merged);
     EXPECT_NE(rendered.find("confirmed 2/2"), std::string::npos);
+}
+
+TEST(campaign_spec, v1_specs_keep_their_schema_and_fingerprint) {
+    // Schema v2 must not disturb v1 canonical JSON: the fingerprint keys
+    // every existing result store, so this value is load-bearing (it is
+    // the PR-2 fingerprint of example_spec, verified against that build).
+    const auto spec = campaign::example_spec();
+    EXPECT_EQ(campaign::spec_to_json(spec).at("schema").as_string(),
+              "qubikos.campaign_spec.v1");
+    EXPECT_EQ(campaign::spec_fingerprint(spec), "c309e38a59ed4985");
+
+    // Any v2 feature flips the schema (and the fingerprint with it).
+    auto v2 = spec;
+    v2.max_attempts = 3;
+    EXPECT_EQ(campaign::spec_to_json(v2).at("schema").as_string(), "qubikos.campaign_spec.v2");
+    EXPECT_NE(campaign::spec_fingerprint(v2), campaign::spec_fingerprint(spec));
+}
+
+TEST(campaign_spec, v2_family_spec_round_trips) {
+    campaign::campaign_spec spec;
+    spec.name = "contrast";
+    spec.mode = campaign::campaign_mode::certify;
+    spec.vf2_check = true;
+    spec.max_attempts = 3;
+    campaign::campaign_suite queko;
+    queko.arch_name = "grid3x3";
+    queko.family = campaign::benchmark_family::queko;
+    queko.swap_counts = {4};
+    queko.circuits_per_count = 2;
+    queko.queko_density = 0.6;
+    queko.base_seed = 1;
+    spec.suites.push_back(queko);
+    campaign::campaign_suite quekno;
+    quekno.arch_name = "grid3x3";
+    quekno.family = campaign::benchmark_family::quekno;
+    quekno.swap_counts = {1};
+    quekno.circuits_per_count = 2;
+    quekno.quekno_gates_per_epoch = 4;
+    quekno.base_seed = 1;
+    spec.suites.push_back(quekno);
+
+    const auto restored = campaign::spec_from_json(campaign::spec_to_json(spec));
+    EXPECT_EQ(campaign::spec_to_json(restored).dump(), campaign::spec_to_json(spec).dump());
+    EXPECT_EQ(campaign::spec_fingerprint(restored), campaign::spec_fingerprint(spec));
+    ASSERT_EQ(restored.suites.size(), 2u);
+    EXPECT_EQ(restored.suites[0].family, campaign::benchmark_family::queko);
+    EXPECT_DOUBLE_EQ(restored.suites[0].queko_density, 0.6);
+    EXPECT_EQ(restored.suites[1].family, campaign::benchmark_family::quekno);
+    EXPECT_EQ(restored.suites[1].quekno_gates_per_epoch, 4);
+    EXPECT_EQ(restored.max_attempts, 3);
+    EXPECT_TRUE(restored.vf2_check);
+}
+
+TEST(campaign_plan, family_units_get_tagged_ids_and_claimed_counts) {
+    campaign::campaign_spec spec;
+    spec.mode = campaign::campaign_mode::certify;
+    campaign::campaign_suite queko;
+    queko.arch_name = "grid3x3";
+    queko.family = campaign::benchmark_family::queko;
+    queko.swap_counts = {3};
+    queko.circuits_per_count = 2;
+    queko.base_seed = 1;
+    spec.suites.push_back(queko);
+    campaign::campaign_suite quekno;
+    quekno.arch_name = "grid3x3";
+    quekno.family = campaign::benchmark_family::quekno;
+    quekno.swap_counts = {2};
+    quekno.circuits_per_count = 1;
+    quekno.base_seed = 5;
+    spec.suites.push_back(quekno);
+
+    const auto plan = campaign::expand_plan(spec);
+    ASSERT_EQ(plan.units.size(), 3u);
+    EXPECT_EQ(plan.units[0].id, "u0:grid3x3:queko:d3:i0:seed1:exact");
+    EXPECT_EQ(plan.units[0].family, campaign::benchmark_family::queko);
+    EXPECT_EQ(plan.units[0].sweep_value, 3);
+    EXPECT_EQ(plan.units[0].designed_swaps, 0);  // QUEKO's claim is 0 swaps
+    EXPECT_EQ(plan.units[2].id, "u1:grid3x3:quekno:t2:i0:seed5:exact");
+    EXPECT_EQ(plan.units[2].designed_swaps, 2);  // construction upper bound
+
+    // QUEKO's claimed count is 0, so tool ratios are undefined.
+    spec.mode = campaign::campaign_mode::tools;
+    EXPECT_THROW((void)campaign::expand_plan(spec), std::invalid_argument);
+}
+
+TEST(campaign_family, certify_matches_direct_generator_checks) {
+    campaign::campaign_spec spec;
+    spec.name = "family_certify";
+    spec.mode = campaign::campaign_mode::certify;
+    spec.vf2_check = true;
+    campaign::campaign_suite queko;
+    queko.arch_name = "grid3x3";
+    queko.family = campaign::benchmark_family::queko;
+    queko.swap_counts = {3};
+    queko.circuits_per_count = 2;
+    queko.queko_density = 0.6;
+    queko.base_seed = 1;
+    spec.suites.push_back(queko);
+    campaign::campaign_suite quekno;
+    quekno.arch_name = "grid3x3";
+    quekno.family = campaign::benchmark_family::quekno;
+    quekno.swap_counts = {1};
+    quekno.circuits_per_count = 2;
+    quekno.quekno_gates_per_epoch = 4;
+    quekno.base_seed = 1;
+    spec.suites.push_back(quekno);
+    campaign::campaign_suite qubikos_suite;
+    qubikos_suite.arch_name = "grid3x3";
+    qubikos_suite.swap_counts = {1};
+    qubikos_suite.circuits_per_count = 1;
+    qubikos_suite.total_two_qubit_gates = 15;
+    qubikos_suite.base_seed = 3;
+    spec.suites.push_back(qubikos_suite);
+
+    const auto plan = campaign::expand_plan(spec);
+    const std::string dir = scratch_dir("family_certify");
+    const auto report = campaign::run_campaign_shard(plan, dir, {});
+    EXPECT_EQ(report.failed_attempts, 0u);
+    const auto merged = campaign::merge_stores(plan, {dir});
+    ASSERT_TRUE(merged.complete());
+    const auto device = arch::by_name("grid3x3");
+
+    for (std::size_t i = 0; i < merged.runs.size(); ++i) {
+        const auto& run = merged.runs[i];
+        const auto& unit = plan.units[i];
+        EXPECT_TRUE(run.record.valid) << unit.id;
+        switch (unit.family) {
+            case campaign::benchmark_family::queko: {
+                // The stored claims must agree with running the checks
+                // directly on the regenerated instance.
+                const auto instance = core::generate_queko(
+                    device, {.depth = 3, .density = 0.6, .seed = unit.instance_seed});
+                const bool vf2 =
+                    is_subgraph_monomorphic(interaction_graph(instance.logical),
+                                            device.coupling);
+                EXPECT_EQ(run.vf2_solvable, vf2 ? 1 : 0) << unit.id;
+                EXPECT_EQ(run.record.designed_swaps, 0);
+                EXPECT_EQ(run.sat_at_n, 1) << unit.id;  // exact optimum is 0
+                break;
+            }
+            case campaign::benchmark_family::quekno: {
+                const auto instance = core::generate_quekno(
+                    device, {.num_transitions = 1, .gates_per_epoch = 4,
+                             .seed = unit.instance_seed});
+                EXPECT_EQ(run.record.designed_swaps, instance.construction_swaps);
+                exact::olsq_options solver;
+                solver.max_swaps = instance.construction_swaps;
+                const auto exact =
+                    exact::solve_optimal(instance.logical, device.coupling, solver);
+                ASSERT_TRUE(exact.solved) << unit.id;
+                EXPECT_EQ(run.sat_at_n, 1) << unit.id;
+                EXPECT_EQ(run.record.measured_swaps,
+                          static_cast<std::size_t>(exact.optimal_swaps))
+                    << unit.id;
+                EXPECT_EQ(run.unsat_below,
+                          exact.optimal_swaps == instance.construction_swaps ? 1 : 0)
+                    << unit.id;
+                EXPECT_EQ(run.structure_ok, 1) << unit.id;
+                break;
+            }
+            case campaign::benchmark_family::qubikos:
+                EXPECT_EQ(run.vf2_solvable, 0) << unit.id;  // VF2-proof by construction
+                EXPECT_EQ(run.sat_at_n, 1) << unit.id;
+                EXPECT_EQ(run.unsat_below, 1) << unit.id;
+                break;
+        }
+    }
+
+    // The certify report renders the VF2 column for family campaigns.
+    const auto rendered = campaign::render_report(plan, merged);
+    EXPECT_NE(rendered.find("VF2 solvable"), std::string::npos);
+    EXPECT_NE(rendered.find("[queko]"), std::string::npos);
+    EXPECT_NE(rendered.find("[quekno]"), std::string::npos);
+}
+
+TEST(campaign_fault, tampered_plan_is_detected_not_trusted) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+    // A unit whose claimed count contradicts what the generator produces
+    // must fail loudly instead of poisoning the ratios.
+    auto unit = plan.units[0];
+    unit.designed_swaps += 1;
+    EXPECT_THROW((void)campaign::execute_unit(spec, unit), std::runtime_error);
+    // The untampered unit executes fine through the cached-context path.
+    const auto run = campaign::execute_unit(spec, plan.units[0]);
+    EXPECT_FALSE(run.failed());
+    EXPECT_EQ(run.record.designed_swaps, plan.units[0].designed_swaps);
+}
+
+TEST(campaign_fault, throwing_unit_quarantines_retries_and_merges_byte_identically) {
+    const auto spec = small_spec();  // max_attempts = 2 (default)
+    const auto plan = campaign::expand_plan(spec);
+    const std::string dir = scratch_dir("fault");
+    const std::string& poisoned = plan.units[5].id;
+
+    {
+        const scoped_fault fault(poisoned);
+        const auto report = campaign::run_campaign_shard(plan, dir, {});
+        // The shard survives: every other unit completes, the poisoned
+        // unit burns its attempt budget and is quarantined.
+        EXPECT_EQ(report.executed, plan.units.size() + 1);  // one retry
+        EXPECT_EQ(report.failed_attempts, 2u);
+        EXPECT_EQ(report.quarantined, 1u);
+        EXPECT_EQ(report.invalid_runs, 0);
+
+        campaign::result_store store(dir, spec);
+        EXPECT_EQ(store.completed().size(), plan.units.size() - 1);
+        EXPECT_FALSE(store.is_complete(poisoned));
+        EXPECT_EQ(store.status(poisoned).failed_attempts, 2);
+
+        // A quarantined unit is skipped by a plain re-run (even while the
+        // fault persists — nothing new is attempted).
+        const auto again = campaign::run_campaign_shard(plan, dir, {});
+        EXPECT_EQ(again.executed, 0u);
+        EXPECT_EQ(again.quarantined, 1u);
+        EXPECT_EQ(again.skipped, plan.units.size() - 1);
+    }
+
+    // status: read-only probe sees the quarantined unit.
+    const auto runs = campaign::result_store::load_runs(dir);
+    campaign::status_options status_options;
+    status_options.num_shards = 2;
+    const auto status = campaign::probe_status(plan, runs, status_options);
+    EXPECT_EQ(status.totals.done, plan.units.size() - 1);
+    EXPECT_EQ(status.totals.quarantined, 1u);
+    EXPECT_FALSE(status.complete());
+    const auto rendered_status = campaign::render_status(plan, status, status_options);
+    EXPECT_NE(rendered_status.find(poisoned), std::string::npos);
+    EXPECT_NE(rendered_status.find("injected fault"), std::string::npos);
+
+    // The merger reports the failure but never mixes it into the runs.
+    auto merged = campaign::merge_stores(plan, {dir});
+    EXPECT_FALSE(merged.complete());
+    ASSERT_EQ(merged.failed.size(), 1u);
+    EXPECT_EQ(merged.failed[0].unit_id, poisoned);
+    EXPECT_EQ(merged.failed[0].attempts, 2);
+    EXPECT_NE(campaign::render_report(plan, merged).find("failed units: 1 quarantined"),
+              std::string::npos);
+    // Merging the same store twice dedups failure records like success
+    // records — the attempt count must not inflate.
+    const auto doubled = campaign::merge_stores(plan, {dir, dir});
+    ASSERT_EQ(doubled.failed.size(), 1u);
+    EXPECT_EQ(doubled.failed[0].attempts, 2);
+
+    // Fault cleared: --retry-quarantined re-opens the unit and drains it.
+    campaign::worker_options retry;
+    retry.retry_quarantined = true;
+    const auto drained = campaign::run_campaign_shard(plan, dir, retry);
+    EXPECT_EQ(drained.executed, 1u);
+    EXPECT_EQ(drained.quarantined, 0u);
+    EXPECT_EQ(drained.failed_attempts, 0u);
+
+    merged = campaign::merge_stores(plan, {dir});
+    ASSERT_TRUE(merged.complete());
+    EXPECT_TRUE(merged.failed.empty());
+    // The success after two failures records which attempt landed it.
+    for (const auto& run : campaign::result_store::load_runs(dir)) {
+        if (run.unit_id == poisoned && !run.failed()) EXPECT_EQ(run.attempt, 3);
+    }
+
+    // And the drained report is byte-identical to a fault-free run.
+    const std::string clean = scratch_dir("fault_clean");
+    (void)campaign::run_campaign_shard(plan, clean, {});
+    const auto clean_merged = campaign::merge_stores(plan, {clean});
+    EXPECT_EQ(campaign::render_report(plan, merged),
+              campaign::render_report(plan, clean_merged));
+
+    // A fault-free store writes the v1 byte layout: first-attempt
+    // successes carry no attempt/error keys at all.
+    std::ifstream raw(clean + "/runs.jsonl");
+    std::string line;
+    while (std::getline(raw, line)) {
+        EXPECT_EQ(line.find("\"attempt\""), std::string::npos);
+        EXPECT_EQ(line.find("\"error\""), std::string::npos);
+    }
+}
+
+TEST(campaign_store, v1_records_without_attempt_or_error_fields_load_and_resume) {
+    const auto spec = small_spec();
+    const auto plan = campaign::expand_plan(spec);
+    const std::string dir = scratch_dir("v1_compat");
+    { campaign::result_store store(dir, spec); }  // writes meta.json
+
+    // Byte-for-byte what the PR-2 store wrote: no attempt / error /
+    // vf2_solvable keys — plus a torn tail, the crash signature the
+    // format has always tolerated.
+    {
+        std::ofstream out(dir + "/runs.jsonl", std::ios::app);
+        out << "{\"depth_ratio\":1.5,\"designed_swaps\":1,\"measured_swaps\":1,"
+               "\"seconds\":0.01,\"tool\":\"lightsabre\",\"unit_id\":\""
+            << plan.units[0].id << "\",\"valid\":true}\n";
+        out << "{\"unit_id\": \"torn-by-cra";
+    }
+
+    const auto runs = campaign::result_store::load_runs(dir);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].attempt, 0);
+    EXPECT_TRUE(runs[0].error.empty());
+    EXPECT_FALSE(runs[0].failed());
+    EXPECT_EQ(runs[0].vf2_solvable, -1);
+
+    // Reopening truncates the torn tail and resumes past the v1 record.
+    campaign::result_store store(dir, spec);
+    EXPECT_TRUE(store.is_complete(plan.units[0].id));
+    EXPECT_TRUE(store.status(plan.units[0].id).succeeded);
+    EXPECT_EQ(store.status(plan.units[0].id).failed_attempts, 0);
+
+    campaign::worker_options options;
+    options.max_units = 2;
+    const auto report = campaign::run_campaign_shard(plan, dir, options);
+    EXPECT_EQ(report.skipped, 1u);
+    EXPECT_EQ(report.executed, 2u);
 }
 
 }  // namespace
