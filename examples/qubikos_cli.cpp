@@ -12,6 +12,8 @@
 //                            [--threads t] [--max-units m] [--batch b]
 //                            [--retry-quarantined] [-v]
 //   qubikos_cli campaign status <store> [--shards n]
+//   qubikos_cli campaign sync <dest_store> <src_store>... [-v]
+//   qubikos_cli campaign pull <dest_store> <src_store>... [-v]
 //   qubikos_cli campaign merge <spec.json> <out_store> <in_store>...
 //   qubikos_cli campaign report <spec.json> <store>...
 //
@@ -29,6 +31,7 @@
 #include "campaign/spec.hpp"
 #include "campaign/status.hpp"
 #include "campaign/store.hpp"
+#include "campaign/sync.hpp"
 #include "campaign/worker.hpp"
 #include "circuit/qasm.hpp"
 #include "core/qubikos.hpp"
@@ -57,6 +60,8 @@ int usage() {
                  "                           [--threads t] [--max-units m] [--batch b]\n"
                  "                           [--retry-quarantined] [-v]\n"
                  "  qubikos_cli campaign status <store> [--shards n]\n"
+                 "  qubikos_cli campaign sync <dest_store> <src_store>... [-v]\n"
+                 "  qubikos_cli campaign pull <dest_store> <src_store>... [-v]\n"
                  "  qubikos_cli campaign merge <spec.json> <out_store> <in_store>...\n"
                  "  qubikos_cli campaign report <spec.json> <store>...\n");
     return 2;
@@ -285,6 +290,32 @@ int cmd_campaign_status(int argc, char** argv) {
     return status.complete() ? 0 : 1;
 }
 
+int cmd_campaign_sync(int argc, char** argv) {
+    // `sync` and `pull` are the same operation; `pull` is the spelling
+    // for collecting from (possibly live) worker stores, which is safe —
+    // a mid-append copy tears at most the newest segment's final line,
+    // exactly what the read path tolerates.
+    if (argc < 5) return usage();
+    const std::string dest = argv[3];
+    std::vector<std::string> sources;
+    campaign::sync_options options;
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-v" || arg == "--verbose") {
+            options.verbose = true;
+        } else {
+            sources.push_back(arg);
+        }
+    }
+    if (sources.empty()) return usage();
+    const auto report = campaign::sync_stores(dest, sources, options);
+    std::printf("synced %zu stores into %s: %zu copied, %zu grown, %zu unchanged, "
+                "%zu heads updated\n",
+                sources.size(), dest.c_str(), report.copied, report.grown, report.unchanged,
+                report.heads);
+    return 0;
+}
+
 int cmd_campaign_merge(int argc, char** argv) {
     if (argc < 6) return usage();
     const auto spec = campaign::load_spec(argv[3]);
@@ -317,6 +348,8 @@ int cmd_campaign(int argc, char** argv) {
     if (std::strcmp(argv[2], "plan") == 0) return cmd_campaign_plan(argc, argv);
     if (std::strcmp(argv[2], "run") == 0) return cmd_campaign_run(argc, argv);
     if (std::strcmp(argv[2], "status") == 0) return cmd_campaign_status(argc, argv);
+    if (std::strcmp(argv[2], "sync") == 0) return cmd_campaign_sync(argc, argv);
+    if (std::strcmp(argv[2], "pull") == 0) return cmd_campaign_sync(argc, argv);
     if (std::strcmp(argv[2], "merge") == 0) return cmd_campaign_merge(argc, argv);
     if (std::strcmp(argv[2], "report") == 0) return cmd_campaign_report(argc, argv);
     return usage();

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare BENCH_micro.json against a baseline.
+
+Usage:
+    scripts/bench_regression_gate.py BENCH_baseline.json build/BENCH_micro.json \
+        [--max-regression 0.25] [--min-seconds 1e-5]
+
+Compares the tracked single-threaded sections of bench_micro's timed
+output (distance_matrix per architecture, candidate_swaps per-call, and
+route_pass) and fails — exit code 1 — when any section regressed by more
+than --max-regression (default 25%, overridable with the
+QUBIKOS_BENCH_GATE_PCT env var, e.g. QUBIKOS_BENCH_GATE_PCT=40).
+
+route_sabre_trials is deliberately untracked: its multi-threaded timings
+scale with the runner's core count, not with the code.
+
+Sections faster than --min-seconds in the baseline are reported but never
+gated: at that duration the comparison measures scheduler noise. A large
+*improvement* is reported too, as a hint to refresh the baseline (commit
+the new BENCH_micro.json as BENCH_baseline.json).
+
+Exit codes: 0 ok, 1 regression, 2 schema/usage problem.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def tracked_sections(doc):
+    """Yield (key, seconds) for every gated section of a bench document."""
+    for entry in doc.get("distance_matrix", []):
+        yield "distance_matrix/" + entry["arch"], float(entry["seconds"])
+    cs = doc.get("candidate_swaps")
+    if cs is not None:
+        yield "candidate_swaps/" + cs["arch"], float(cs["seconds_per_call"])
+    rp = doc.get("route_pass")
+    if rp is not None:
+        yield "route_pass/" + rp["arch"], float(rp["seconds"])
+
+
+def default_max_regression():
+    """25%, unless QUBIKOS_BENCH_GATE_PCT overrides (empty = unset)."""
+    raw = os.environ.get("QUBIKOS_BENCH_GATE_PCT", "").strip()
+    if not raw:
+        return 0.25
+    try:
+        return float(raw) / 100.0
+    except ValueError:
+        print(f"error: QUBIKOS_BENCH_GATE_PCT={raw!r} is not a number", file=sys.stderr)
+        sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot load {path}: {err}")
+    if doc.get("schema") != "qubikos.bench_micro.v1":
+        print(f"error: {path} is not a qubikos.bench_micro.v1 document", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=default_max_regression(),
+        help="allowed slowdown as a fraction (default 0.25 = 25%%, or "
+             "QUBIKOS_BENCH_GATE_PCT/100 when that env var is set)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-5,
+        help="baseline durations below this are reported but not gated",
+    )
+    args = parser.parse_args()
+
+    base = dict(tracked_sections(load(args.baseline)))
+    cur = dict(tracked_sections(load(args.current)))
+    if not base:
+        print("error: baseline has no tracked sections", file=sys.stderr)
+        sys.exit(2)
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print("error: current run is missing tracked sections (schema drift?):",
+              ", ".join(missing), file=sys.stderr)
+        sys.exit(2)
+
+    regressions = []
+    width = max(len(k) for k in base)
+    print(f"bench gate: max allowed regression {args.max_regression:.0%}")
+    for key in sorted(base):
+        b, c = base[key], cur[key]
+        ratio = c / b if b > 0 else float("inf")
+        note = ""
+        if b < args.min_seconds:
+            note = "  (below noise floor, not gated)"
+        elif ratio > 1.0 + args.max_regression:
+            note = "  <-- REGRESSION"
+            regressions.append((key, ratio))
+        elif ratio < 1.0 - args.max_regression:
+            note = "  (improved; consider refreshing the baseline)"
+        print(f"  {key:<{width}}  {b * 1e6:10.1f} us -> {c * 1e6:10.1f} us"
+              f"  ({ratio:6.2f}x){note}")
+
+    for key in sorted(set(cur) - set(base)):
+        print(f"  {key:<{width}}  (new section, not in baseline — not gated)")
+
+    if regressions:
+        names = ", ".join(f"{k} ({r:.2f}x)" for k, r in regressions)
+        print(f"FAIL: {len(regressions)} tracked section(s) regressed: {names}",
+              file=sys.stderr)
+        sys.exit(1)
+    print("OK: no tracked section regressed past the gate")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,8 +4,8 @@
 # Exercises the campaign engine's core guarantees end to end with the CLI:
 #   1. single-process reference run + report;
 #   2. shard 0/2 runs to completion;
-#   3. shard 1/2 is interrupted midway (--max-units) and its store is
-#      torn mid-line, as a SIGKILL during an append would leave it;
+#   3. shard 1/2 is interrupted midway (--max-units) and its open segment
+#      is torn mid-line, as a SIGKILL during an append would leave it;
 #   4. shard 1/2 is re-launched and resumes past the intact records;
 #   5. both stores merge, and the merged report must be byte-identical
 #      to the single-process reference;
@@ -13,7 +13,13 @@
 #      quarantines without killing its shard, `campaign status` shows it,
 #      `campaign run --retry-quarantined` drains it once the fault is
 #      cleared, and the drained report is byte-identical to the
-#      reference again.
+#      reference again;
+#   7. two-machine sync drill: each "machine" runs its shard into its own
+#      segmented store (tiny segment size to force rotation), one is
+#      killed mid-run, `campaign sync` collects both — torn tail and all —
+#      the killed machine resumes, a re-sync picks up only grown/new
+#      segments, a further re-sync is a no-op, and the merged report is
+#      byte-identical to the reference.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -36,9 +42,11 @@ echo "--- single-process reference"
 echo "--- shard 0/2 (complete)"
 "$CLI" campaign run "$WORK/spec.json" "$WORK/s0" --shard 0/2
 
-echo "--- shard 1/2 (killed midway: stop after 5 units, tear the store)"
+echo "--- shard 1/2 (killed midway: stop after 5 units, tear the open segment)"
 "$CLI" campaign run "$WORK/spec.json" "$WORK/s1" --shard 1/2 --max-units 5
-printf '{"unit_id": "torn-by-crash' >> "$WORK/s1/runs.jsonl"
+# The newest segment of writer 1 is the only file a crash can tear.
+S1_OPEN=$(ls "$WORK/s1"/runs-1-*.jsonl | sort | tail -1)
+printf '{"unit_id": "torn-by-crash' >> "$S1_OPEN"
 
 echo "--- shard 1/2 (resumed)"
 "$CLI" campaign run "$WORK/spec.json" "$WORK/s1" --shard 1/2 \
@@ -97,3 +105,42 @@ echo "--- drained report is byte-identical to the reference"
 "$CLI" campaign report "$WORK/spec.json" "$WORK/faulty" > "$WORK/faulty_report.txt"
 diff "$WORK/ref_report.txt" "$WORK/faulty_report.txt"
 echo "OK: quarantine + retry leaves the report byte-identical to the fault-free reference"
+
+echo "--- two-machine sync drill: disjoint shards on separate stores, one killed"
+# A tiny rotation threshold forces every store through several sealed
+# segments, so the drill covers rotation + heads, not just one file.
+export QUBIKOS_CAMPAIGN_SEGMENT_BYTES=400
+"$CLI" campaign run "$WORK/spec.json" "$WORK/m0" --shard 0/2
+"$CLI" campaign run "$WORK/spec.json" "$WORK/m1" --shard 1/2 --max-units 3
+M1_OPEN=$(ls "$WORK/m1"/runs-1-*.jsonl | sort | tail -1)
+printf '{"unit_id": "torn-by-crash' >> "$M1_OPEN"
+ls "$WORK/m0"/runs-0-*.jsonl | sed 's/^/  m0 /'
+ls "$WORK/m1"/runs-1-*.jsonl | sed 's/^/  m1 /'
+
+echo "--- sync the incomplete fleet (torn tail rides along on the newest segment)"
+"$CLI" campaign sync "$WORK/collect" "$WORK/m0" "$WORK/m1" | tee "$WORK/sync1.txt"
+
+echo "--- machine 1 resumes and finishes; re-sync copies only missing/grown segments"
+"$CLI" campaign run "$WORK/spec.json" "$WORK/m1" --shard 1/2
+"$CLI" campaign sync "$WORK/collect" "$WORK/m0" "$WORK/m1" | tee "$WORK/sync2.txt"
+grep -q " 0 copied, 0 grown" "$WORK/sync2.txt" && {
+  echo "error: second sync should have picked up machine 1's new segments" >&2
+  exit 1
+}
+
+echo "--- a further re-sync is a no-op (idempotence)"
+"$CLI" campaign pull "$WORK/collect" "$WORK/m0" "$WORK/m1" | tee "$WORK/sync3.txt"
+grep -q " 0 copied, 0 grown" "$WORK/sync3.txt" || {
+  echo "error: re-sync of unchanged stores must copy nothing" >&2
+  exit 1
+}
+
+echo "--- merged report from the synced collection is byte-identical to the reference"
+"$CLI" campaign merge "$WORK/spec.json" "$WORK/collect_merged" "$WORK/collect"
+"$CLI" campaign report "$WORK/spec.json" "$WORK/collect_merged" > "$WORK/synced_report.txt"
+diff "$WORK/ref_report.txt" "$WORK/synced_report.txt"
+# The collection itself is also a readable store: report straight off it.
+"$CLI" campaign report "$WORK/spec.json" "$WORK/collect" > "$WORK/collect_report.txt"
+diff "$WORK/ref_report.txt" "$WORK/collect_report.txt"
+unset QUBIKOS_CAMPAIGN_SEGMENT_BYTES
+echo "OK: two-machine sync + merge is byte-identical to the single-process reference"

@@ -15,12 +15,6 @@ campaign_plan expand_plan(const campaign_spec& spec) {
         if (suite.swap_counts.empty() || suite.circuits_per_count <= 0) {
             throw std::invalid_argument("campaign: empty suite in spec");
         }
-        if (suite.family == benchmark_family::queko && spec.mode == campaign_mode::tools) {
-            // QUEKO's claimed count is 0, so tool swap *ratios* are
-            // undefined; the family's claims live in certify mode.
-            throw std::invalid_argument(
-                "campaign: queko suites support certify mode only (claimed swap count is 0)");
-        }
         // The qubikos sweep axis is the designed count (>= 0 is valid: a
         // 0-swap circuit); queko sweeps depth and quekno transitions,
         // both of which must be positive to mean anything.

@@ -10,6 +10,47 @@ namespace qubikos::campaign {
 
 namespace {
 
+/// Renders one tool's swap-ratio column: "n/a" where the denominator is
+/// zero (QUEKO cells claim 0 optimal swaps), a ratio everywhere else.
+std::string ratio_or_na(bool defined, double ratio) {
+    return defined ? ascii_table::num(ratio, 4) + "x" : std::string("n/a");
+}
+
+/// Per-tool absolute sums across cells — the aggregate that stays finite
+/// when ratios cannot (a 0-optimal-swaps suite never divides by zero).
+struct tool_totals {
+    std::size_t swaps = 0;
+    long long optimal = 0;
+};
+
+tool_totals totals_for(const std::vector<eval::ratio_cell>& cells, const std::string& tool) {
+    tool_totals totals;
+    for (const auto& cell : cells) {
+        if (cell.tool != tool) continue;
+        totals.swaps += cell.total_swaps;
+        totals.optimal += cell.total_optimal_swaps;
+    }
+    return totals;
+}
+
+/// The per-tool gap summary (mean/geomean over ratio-bearing cells plus
+/// absolute totals), shared by the per-suite and cross-suite tables.
+void render_gap_table(const std::vector<eval::ratio_cell>& cells,
+                      const std::vector<std::string>& tools, std::string& out) {
+    ascii_table gaps({"tool", "mean gap", "geomean gap", "total swaps", "total optimal"});
+    for (const auto& tool : tools) {
+        bool present = false;
+        for (const auto& cell : cells) present = present || cell.tool == tool;
+        if (!present) continue;
+        const bool has_ratio = eval::has_ratio_cells(cells, tool);
+        const tool_totals totals = totals_for(cells, tool);
+        gaps.add(tool, ratio_or_na(has_ratio, has_ratio ? eval::mean_ratio(cells, tool) : 0.0),
+                 ratio_or_na(has_ratio, has_ratio ? eval::geomean_ratio(cells, tool) : 0.0),
+                 totals.swaps, totals.optimal);
+    }
+    out += gaps.str();
+}
+
 std::string suite_banner(std::size_t index, const campaign_suite& suite) {
     std::string counts;
     for (const int c : suite.swap_counts) {
@@ -41,20 +82,12 @@ void render_tools_suite(const campaign_suite& suite, std::size_t index,
     for (const auto& cell : cells) {
         table.add(cell.tool, cell.designed_swaps, cell.runs,
                   ascii_table::num(cell.average_swaps, 2),
-                  ascii_table::num(cell.swap_ratio, 4) + "x",
+                  ratio_or_na(cell.has_ratio(), cell.swap_ratio),
                   ascii_table::num(cell.average_depth_ratio, 4) + "x");
     }
     out += table.str();
 
-    ascii_table gaps({"tool", "mean gap", "geomean gap"});
-    for (const auto& tool : tools) {
-        bool present = false;
-        for (const auto& cell : cells) present = present || cell.tool == tool;
-        if (!present) continue;
-        gaps.add(tool, ascii_table::num(eval::mean_ratio(cells, tool), 4) + "x",
-                 ascii_table::num(eval::geomean_ratio(cells, tool), 4) + "x");
-    }
-    out += gaps.str();
+    render_gap_table(cells, tools, out);
     out += "\n";
     all_cells.insert(all_cells.end(), cells.begin(), cells.end());
 }
@@ -172,15 +205,7 @@ std::string render_report(const campaign_plan& plan, const merged_campaign& merg
 
     if (spec.suites.size() > 1 && !all_cells.empty()) {
         out += "overall optimality gaps (all suites):\n";
-        ascii_table overall({"tool", "mean gap", "geomean gap"});
-        for (const auto& tool : tools) {
-            bool present = false;
-            for (const auto& cell : all_cells) present = present || cell.tool == tool;
-            if (!present) continue;
-            overall.add(tool, ascii_table::num(eval::mean_ratio(all_cells, tool), 4) + "x",
-                        ascii_table::num(eval::geomean_ratio(all_cells, tool), 4) + "x");
-        }
-        out += overall.str();
+        render_gap_table(all_cells, tools, out);
     }
     return out;
 }

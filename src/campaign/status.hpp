@@ -2,8 +2,10 @@
 //
 // `campaign status` answers "how far along is this store, and is anything
 // stuck?" while shard workers are running. It must therefore never touch
-// the write path: the probe reads runs.jsonl via result_store::load_runs
-// (torn tails skipped) and the spec snapshot via load_meta_spec — it
+// the write path: the probe reads the record files (legacy runs.jsonl
+// and/or segments) via result_store::load_runs (torn tails skipped on
+// each writer's newest segment) and the spec snapshot via load_meta_spec
+// — it
 // never opens the store for appending, creates nothing, and takes no
 // fingerprint lock, so pointing it at a store another process is
 // actively writing is always safe.

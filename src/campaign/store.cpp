@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #if defined(_WIN32)
 #include <io.h>
@@ -18,6 +19,22 @@ namespace qubikos::campaign {
 
 namespace {
 
+constexpr std::uint64_t fnv_offset = 0xcbf29ce484222325ULL;
+
+std::uint64_t fnv1a(std::uint64_t state, const char* data, std::size_t size) {
+    for (std::size_t i = 0; i < size; ++i) {
+        state ^= static_cast<unsigned char>(data[i]);
+        state *= 0x100000001b3ULL;
+    }
+    return state;
+}
+
+std::string fnv_hex(std::uint64_t hash) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(hash));
+    return buf;
+}
+
 void fsync_file(std::FILE* file) {
 #if defined(_WIN32)
     _commit(_fileno(file));
@@ -28,19 +45,12 @@ void fsync_file(std::FILE* file) {
 #endif
 }
 
-std::string read_file(const std::filesystem::path& path) {
-    std::ifstream file(path, std::ios::binary);
-    if (!file) throw std::runtime_error("campaign: cannot read " + path.string());
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    return buffer.str();
-}
-
-/// Splits runs.jsonl content into parsed records. Returns the byte
-/// length of the valid prefix (everything up to and including the last
-/// line that parsed). A line that fails to parse is tolerated only when
-/// nothing but that line follows it — the torn-tail signature of a crash
-/// mid-append; corruption earlier in the file throws.
+/// Splits JSONL content into parsed records. Returns the byte length of
+/// the valid prefix (everything up to and including the last line that
+/// parsed). A line that fails to parse is tolerated only when nothing but
+/// that line follows it — the torn-tail signature of a crash mid-append;
+/// corruption earlier in the file throws. Whether a torn tail is
+/// *acceptable* for this particular file is the caller's decision.
 std::size_t parse_runs(const std::string& content, const std::string& path,
                        std::vector<stored_run>& out) {
     std::size_t offset = 0;
@@ -66,6 +76,98 @@ std::size_t parse_runs(const std::string& content, const std::string& path,
         offset = next;
     }
     return valid_end;
+}
+
+/// All digits (and nonempty)?
+bool all_digits(std::string_view s) {
+    if (s.empty()) return false;
+    return std::all_of(s.begin(), s.end(), [](char c) { return c >= '0' && c <= '9'; });
+}
+
+std::size_t resolve_segment_bytes(std::size_t requested) {
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("QUBIKOS_CAMPAIGN_SEGMENT_BYTES")) {
+        char* end = nullptr;
+        const unsigned long long value = std::strtoull(env, &end, 10);
+        if (end != nullptr && *end == '\0' && value > 0) {
+            return static_cast<std::size_t>(value);
+        }
+    }
+    return std::size_t{8} << 20;  // 8 MiB
+}
+
+/// One record file of a store, parsed. `content` (the raw bytes) is
+/// retained only for each writer's newest segment and the legacy file —
+/// the files an appender may need to reopen; sealed segments keep just
+/// their size + fingerprint, so peak memory is bounded by one segment
+/// plus the open tails, not the whole store.
+struct loaded_file {
+    store_file info;
+    std::string content;
+    std::size_t size = 0;
+    std::string fingerprint;
+    std::size_t valid_end = 0;
+    std::vector<stored_run> runs;
+};
+
+/// Reads and parses every record file of a store, enforcing the
+/// torn-tail-only-on-newest rule and verifying every sealed segment
+/// named by a head manifest against its recorded byte length and content
+/// fingerprint. The single gateway of the read path: result_store's
+/// replay and load_runs both go through it.
+///
+/// Heads are snapshotted BEFORE the segment bytes are read: a live
+/// writer can seal a segment between the two reads, and a head claiming
+/// more bytes than an earlier segment snapshot holds would look like
+/// corruption. The stale direction is always safe — an old head's sealed
+/// claims are immutable facts about bytes every later read will see —
+/// which is what keeps `campaign status` (and sync pulls) safe against
+/// stores that are actively being written.
+std::vector<loaded_file> load_store_contents(const std::string& directory) {
+    const std::vector<writer_head> heads = load_store_heads(directory);
+
+    std::vector<loaded_file> out;
+    for (const auto& info : scan_store_files(directory)) {
+        loaded_file file;
+        file.info = info;
+        const std::filesystem::path path = std::filesystem::path(directory) / info.name;
+        file.content = read_file_bytes(path);
+        file.size = file.content.size();
+        file.fingerprint = content_fingerprint(file.content);
+        file.valid_end = parse_runs(file.content, path.string(), file.runs);
+        if (!info.newest_of_writer && file.valid_end != file.size) {
+            throw std::runtime_error("campaign: sealed segment " + path.string() +
+                                     " has torn trailing bytes (only the newest segment of a "
+                                     "writer may be torn)");
+        }
+        if (!info.newest_of_writer) {
+            file.content = std::string();  // sealed: size + fingerprint suffice
+        }
+        out.push_back(std::move(file));
+    }
+
+    // Every sealed segment a head names must exist with exactly the
+    // recorded bytes — sealed segments are immutable, so (with the
+    // snapshot order above) any disagreement is corruption or
+    // tampering, never a benign race.
+    for (const auto& head : heads) {
+        for (const auto& sealed : head.sealed) {
+            const auto it =
+                std::find_if(out.begin(), out.end(),
+                             [&](const loaded_file& f) { return f.info.name == sealed.file; });
+            if (it == out.end()) {
+                throw std::runtime_error("campaign: " + head_file_name(head.writer) + " in " +
+                                         directory + " names sealed segment " + sealed.file +
+                                         " which is missing from the store");
+            }
+            if (it->size != sealed.bytes || it->fingerprint != sealed.fingerprint) {
+                throw std::runtime_error(
+                    "campaign: sealed segment " + sealed.file + " in " + directory +
+                    " does not match its head manifest (corrupt or tampered store)");
+            }
+        }
+    }
+    return out;
 }
 
 }  // namespace
@@ -110,15 +212,175 @@ stored_run run_from_json(const json::value& v) {
     return run;
 }
 
-result_store::result_store(const std::string& directory, const campaign_spec& spec)
+// --- segmented-layout vocabulary --------------------------------------------
+
+std::string segment_file_name(int writer, long seq) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "runs-%d-%06ld.jsonl", writer, seq);
+    return buf;
+}
+
+bool parse_segment_file_name(const std::string& name, int& writer, long& seq) {
+    constexpr std::string_view prefix = "runs-";
+    constexpr std::string_view suffix = ".jsonl";
+    if (name.size() <= prefix.size() + suffix.size()) return false;
+    if (name.compare(0, prefix.size(), prefix) != 0) return false;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return false;
+    const std::string_view middle(name.data() + prefix.size(),
+                                  name.size() - prefix.size() - suffix.size());
+    const std::size_t dash = middle.find('-');
+    if (dash == std::string_view::npos) return false;
+    const std::string_view writer_part = middle.substr(0, dash);
+    const std::string_view seq_part = middle.substr(dash + 1);
+    if (!all_digits(writer_part) || !all_digits(seq_part)) return false;
+    writer = std::atoi(std::string(writer_part).c_str());
+    seq = std::atol(std::string(seq_part).c_str());
+    return true;
+}
+
+std::string head_file_name(int writer) {
+    return "head-" + std::to_string(writer) + ".json";
+}
+
+bool parse_head_file_name(const std::string& name, int& writer) {
+    constexpr std::string_view prefix = "head-";
+    constexpr std::string_view suffix = ".json";
+    if (name.size() <= prefix.size() + suffix.size()) return false;
+    if (name.compare(0, prefix.size(), prefix) != 0) return false;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) return false;
+    const std::string_view middle(name.data() + prefix.size(),
+                                  name.size() - prefix.size() - suffix.size());
+    if (!all_digits(middle)) return false;
+    writer = std::atoi(std::string(middle).c_str());
+    return true;
+}
+
+std::string content_fingerprint(const std::string& bytes) {
+    return fnv_hex(fnv1a(fnv_offset, bytes.data(), bytes.size()));
+}
+
+std::size_t valid_record_prefix(const std::string& content) {
+    std::vector<stored_run> discard;
+    return parse_runs(content, "<buffer>", discard);
+}
+
+json::value head_to_json(const writer_head& head) {
+    json::object o;
+    o["schema"] = "qubikos.campaign_head.v1";
+    o["writer"] = head.writer;
+    o["open_seq"] = static_cast<std::int64_t>(head.open_seq);
+    json::array sealed;
+    for (const auto& s : head.sealed) {
+        json::object e;
+        e["file"] = s.file;
+        e["bytes"] = s.bytes;
+        e["fingerprint"] = s.fingerprint;
+        sealed.push_back(json::value(std::move(e)));
+    }
+    o["sealed"] = std::move(sealed);
+    return json::value(std::move(o));
+}
+
+writer_head head_from_json(const json::value& v) {
+    writer_head head;
+    head.writer = v.at("writer").as_int();
+    head.open_seq = static_cast<long>(v.at("open_seq").as_number());
+    for (const auto& e : v.at("sealed").as_array()) {
+        sealed_segment s;
+        s.file = e.at("file").as_string();
+        s.bytes = static_cast<std::size_t>(e.at("bytes").as_number());
+        s.fingerprint = e.at("fingerprint").as_string();
+        head.sealed.push_back(std::move(s));
+    }
+    return head;
+}
+
+bool load_writer_head(const std::string& directory, int writer, writer_head& out) {
+    const std::filesystem::path path =
+        std::filesystem::path(directory) / head_file_name(writer);
+    if (!std::filesystem::exists(path)) return false;
+    out = head_from_json(json::parse(read_file_bytes(path)));
+    return true;
+}
+
+std::vector<writer_head> load_store_heads(const std::string& directory) {
+    std::vector<writer_head> out;
+    if (!std::filesystem::is_directory(directory)) return out;
+    for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+        int writer = 0;
+        if (!entry.is_regular_file() ||
+            !parse_head_file_name(entry.path().filename().string(), writer)) {
+            continue;
+        }
+        out.push_back(head_from_json(json::parse(read_file_bytes(entry.path()))));
+    }
+    return out;
+}
+
+std::vector<store_file> scan_store_files(const std::string& directory) {
+    std::vector<store_file> out;
+    if (!std::filesystem::is_directory(directory)) return out;
+    if (std::filesystem::exists(std::filesystem::path(directory) / "runs.jsonl")) {
+        out.push_back({"runs.jsonl", -1, -1, true});
+    }
+    std::vector<store_file> segments;
+    for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+        if (!entry.is_regular_file()) continue;
+        store_file f;
+        f.name = entry.path().filename().string();
+        if (parse_segment_file_name(f.name, f.writer, f.seq)) segments.push_back(std::move(f));
+    }
+    std::sort(segments.begin(), segments.end(), [](const store_file& a, const store_file& b) {
+        return a.writer != b.writer ? a.writer < b.writer : a.seq < b.seq;
+    });
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        segments[i].newest_of_writer =
+            i + 1 == segments.size() || segments[i + 1].writer != segments[i].writer;
+        out.push_back(segments[i]);
+    }
+    return out;
+}
+
+std::string read_file_bytes(const std::filesystem::path& path) {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw std::runtime_error("campaign: cannot read " + path.string());
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+void atomic_write_file(const std::filesystem::path& path, const std::string& bytes) {
+    const std::filesystem::path tmp_path = path.string() + ".tmp";
+    std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
+    if (out == nullptr) {
+        throw std::runtime_error("campaign: cannot write " + tmp_path.string());
+    }
+    const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size() &&
+                    std::fflush(out) == 0;
+    if (ok) fsync_file(out);
+    std::fclose(out);
+    if (!ok) throw std::runtime_error("campaign: write failed for " + tmp_path.string());
+    std::filesystem::rename(tmp_path, path);
+}
+
+// --- result_store -----------------------------------------------------------
+
+result_store::result_store(const std::string& directory, const campaign_spec& spec,
+                           const store_options& options)
     : directory_(directory) {
+    if (options.writer < 0) {
+        throw std::invalid_argument("campaign: store writer id must be >= 0");
+    }
+    writer_ = options.writer;
+    segment_bytes_ = resolve_segment_bytes(options.segment_bytes);
+
     const std::filesystem::path dir(directory);
     std::filesystem::create_directories(dir);
     const std::filesystem::path meta_path = dir / "meta.json";
     const std::string fingerprint = spec_fingerprint(spec);
 
     if (std::filesystem::exists(meta_path)) {
-        const json::value meta = json::parse(read_file(meta_path));
+        const json::value meta = json::parse(read_file_bytes(meta_path));
         const std::string existing = meta.at("fingerprint").as_string();
         if (existing != fingerprint) {
             throw std::runtime_error("campaign: store " + directory +
@@ -135,43 +397,100 @@ result_store::result_store(const std::string& directory, const campaign_spec& sp
         // parses this file, so a crash mid-write must leave either no
         // meta.json or a complete one — a torn meta.json would brick the
         // resume path the store exists to provide.
-        const std::filesystem::path tmp_path = dir / "meta.json.tmp";
-        {
-            const std::string text = json::value(std::move(meta)).dump(2) + "\n";
-            std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
-            if (out == nullptr) {
-                throw std::runtime_error("campaign: cannot write " + tmp_path.string());
-            }
-            const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size() &&
-                            std::fflush(out) == 0;
-            if (ok) fsync_file(out);
-            std::fclose(out);
-            if (!ok) throw std::runtime_error("campaign: write failed for meta.json");
-        }
-        std::filesystem::rename(tmp_path, meta_path);
+        atomic_write_file(meta_path, json::value(std::move(meta)).dump(2) + "\n");
     }
 
-    runs_path_ = (dir / "runs.jsonl").string();
-    bool needs_newline = false;
-    if (std::filesystem::exists(runs_path_)) {
-        const std::string content = read_file(runs_path_);
-        std::vector<stored_run> runs;
-        const std::size_t valid_end = parse_runs(content, runs_path_, runs);
-        for (const auto& run : runs) note(run);
+    const std::vector<loaded_file> files = load_store_contents(directory);
+    for (const auto& file : files) {
+        for (const auto& run : file.runs) note(run);
+    }
+
+    const bool has_segments =
+        std::any_of(files.begin(), files.end(),
+                    [](const loaded_file& f) { return f.info.writer >= 0; });
+    const bool has_legacy =
+        std::any_of(files.begin(), files.end(),
+                    [](const loaded_file& f) { return f.info.writer < 0; });
+
+    // A lone runs.jsonl is a v1 store: keep appending to it so v1 stores
+    // resume byte-for-byte as they always did. Everything else (fresh
+    // store, segmented store, or a synced mix) appends to this writer's
+    // segments, leaving any legacy file read-only.
+    legacy_mode_ = has_legacy && !has_segments;
+    if (legacy_mode_) {
+        const loaded_file& legacy = files.front();
+        runs_path_ = (dir / "runs.jsonl").string();
         // Truncate a torn tail so the next append starts on a clean line.
-        if (valid_end < content.size()) {
-            std::filesystem::resize_file(runs_path_, valid_end);
+        if (legacy.valid_end < legacy.content.size()) {
+            std::filesystem::resize_file(runs_path_, legacy.valid_end);
+        }
+        file_ = std::fopen(runs_path_.c_str(), "ab");
+        if (file_ == nullptr) {
+            throw std::runtime_error("campaign: cannot open " + runs_path_ + " for appending");
         }
         // An intact final record without its newline (externally edited
         // file) would otherwise concatenate with the next append.
-        needs_newline = valid_end > 0 && content[valid_end - 1] != '\n';
+        if (legacy.valid_end > 0 && legacy.content[legacy.valid_end - 1] != '\n') {
+            buffer_ += '\n';
+        }
+        return;
     }
 
-    file_ = std::fopen(runs_path_.c_str(), "ab");
-    if (file_ == nullptr) {
-        throw std::runtime_error("campaign: cannot open " + runs_path_ + " for appending");
+    // v2: find this writer's segments and decide which seq to open. A
+    // head whose open_seq is past every existing segment marks a crash
+    // between sealing and opening the next file; a newest segment the
+    // head lists as sealed marks one between head write and fopen. Both
+    // resume by opening the next (fresh) seq.
+    std::vector<const loaded_file*> own;
+    for (const auto& file : files) {
+        if (file.info.writer == writer_) own.push_back(&file);
     }
-    if (needs_newline) buffer_ += '\n';
+    writer_head head;
+    const bool have_head = load_writer_head(directory, writer_, head);
+
+    long open_seq = 0;
+    const loaded_file* reopen = nullptr;
+    if (!own.empty()) {
+        const loaded_file* newest = own.back();
+        const bool newest_sealed =
+            have_head &&
+            std::any_of(head.sealed.begin(), head.sealed.end(), [&](const sealed_segment& s) {
+                return s.file == newest->info.name;
+            });
+        if (have_head && head.open_seq > newest->info.seq) {
+            open_seq = head.open_seq;
+        } else if (newest_sealed) {
+            open_seq = newest->info.seq + 1;
+        } else {
+            open_seq = newest->info.seq;
+            reopen = newest;
+        }
+    } else if (have_head) {
+        open_seq = head.open_seq;
+    }
+
+    // Rebuild this writer's sealed list from the verified on-disk bytes
+    // (self-healing: a lost or stale head is regenerated here).
+    for (const loaded_file* file : own) {
+        if (file->info.seq >= open_seq) continue;
+        sealed_.push_back({file->info.name, file->size, file->fingerprint});
+    }
+
+    if (reopen != nullptr) {
+        const std::filesystem::path path = dir / reopen->info.name;
+        if (reopen->valid_end < reopen->content.size()) {
+            std::filesystem::resize_file(path, reopen->valid_end);
+        }
+        const bool needs_newline =
+            reopen->valid_end > 0 && reopen->content[reopen->valid_end - 1] != '\n';
+        open_segment(open_seq, reopen->valid_end,
+                     fnv1a(fnv_offset, reopen->content.data(), reopen->valid_end),
+                     needs_newline);
+    } else {
+        open_segment(open_seq, 0, fnv_offset, false);
+    }
+    write_head();
+    if (current_bytes_ >= segment_bytes_) seal_and_rotate();
 }
 
 result_store::~result_store() {
@@ -182,6 +501,42 @@ result_store::~result_store() {
         }
         std::fclose(file_);
     }
+}
+
+void result_store::open_segment(long seq, std::size_t resume_bytes, std::uint64_t resume_hash,
+                                bool needs_newline) {
+    open_seq_ = seq;
+    runs_path_ =
+        (std::filesystem::path(directory_) / segment_file_name(writer_, seq)).string();
+    file_ = std::fopen(runs_path_.c_str(), "ab");
+    if (file_ == nullptr) {
+        throw std::runtime_error("campaign: cannot open " + runs_path_ + " for appending");
+    }
+    current_bytes_ = resume_bytes;
+    current_hash_ = resume_hash;
+    if (needs_newline) buffer_ += '\n';
+}
+
+void result_store::seal_and_rotate() {
+    std::fclose(file_);
+    file_ = nullptr;
+    sealed_.push_back(
+        {segment_file_name(writer_, open_seq_), current_bytes_, fnv_hex(current_hash_)});
+    // The head records the seal and the next open seq in one atomic
+    // replace; a crash on either side of it reopens consistently (see
+    // the constructor's open-seq decision).
+    open_seq_ += 1;
+    write_head();
+    open_segment(open_seq_, 0, fnv_offset, false);
+}
+
+void result_store::write_head() const {
+    writer_head head;
+    head.writer = writer_;
+    head.open_seq = open_seq_;
+    head.sealed = sealed_;
+    atomic_write_file(std::filesystem::path(directory_) / head_file_name(writer_),
+                      head_to_json(head).dump(2) + "\n");
 }
 
 void result_store::note(const stored_run& run) {
@@ -209,6 +564,8 @@ void result_store::flush() {
     // repeated failure is a torn tail, which reopen recovers from, never
     // a duplicated prefix mid-file, which it cannot.
     const std::size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    current_hash_ = fnv1a(current_hash_, buffer_.data(), written);
+    current_bytes_ += written;
     buffer_.erase(0, written);
     if (!buffer_.empty()) {
         throw std::runtime_error("campaign: short write to " + runs_path_);
@@ -217,26 +574,27 @@ void result_store::flush() {
         throw std::runtime_error("campaign: flush failed for " + runs_path_);
     }
     fsync_file(file_);
+    if (!legacy_mode_ && current_bytes_ >= segment_bytes_) seal_and_rotate();
 }
 
 std::vector<stored_run> result_store::load_runs(const std::string& directory) {
-    const std::filesystem::path path = std::filesystem::path(directory) / "runs.jsonl";
     std::vector<stored_run> out;
-    if (!std::filesystem::exists(path)) return out;
-    const std::string content = read_file(path);
-    parse_runs(content, path.string(), out);
+    for (auto& file : load_store_contents(directory)) {
+        out.insert(out.end(), std::make_move_iterator(file.runs.begin()),
+                   std::make_move_iterator(file.runs.end()));
+    }
     return out;
 }
 
 campaign_spec result_store::load_meta_spec(const std::string& directory) {
     const std::filesystem::path path = std::filesystem::path(directory) / "meta.json";
-    const json::value meta = json::parse(read_file(path));
+    const json::value meta = json::parse(read_file_bytes(path));
     return spec_from_json(meta.at("spec"));
 }
 
 std::string result_store::load_meta_fingerprint(const std::string& directory) {
     const std::filesystem::path path = std::filesystem::path(directory) / "meta.json";
-    const json::value meta = json::parse(read_file(path));
+    const json::value meta = json::parse(read_file_bytes(path));
     return meta.at("fingerprint").as_string();
 }
 

@@ -1,22 +1,41 @@
 // Persistent result store: append-only JSON-lines with crash tolerance.
 //
-// On disk a store is a directory:
-//   meta.json    - spec snapshot + fingerprint (written once at creation)
-//   runs.jsonl   - one completed work unit per line, append-only
+// On disk a store is a directory. Layout v2 (segmented, the default for
+// new stores) is built for multi-machine collection:
+//   meta.json                 - spec snapshot + fingerprint (written once)
+//   runs-<writer>-<seq>.jsonl - record segments; <writer> is the shard id
+//                               of the process that wrote them, <seq> a
+//                               rotation counter. Only the highest-seq
+//                               segment of a writer is ever open for
+//                               appending; lower-seq segments are sealed
+//                               and immutable.
+//   head-<writer>.json        - tiny per-writer manifest, atomically
+//                               replaced (temp + fsync + rename): which
+//                               segment is open and the byte length +
+//                               content fingerprint of every sealed one.
+// Layout v1 is the same directory with a single runs.jsonl. A v1 store
+// opened for appending keeps appending to runs.jsonl — its bytes, and
+// therefore its crash-recovery story, are untouched by v2. The read path
+// accepts both layouts (and their mix, which `campaign sync` can produce
+// when collecting from v1 and v2 machines).
 //
 // The write path buffers records and flushes them in batches: each flush
 // fwrites the buffered lines, fflushes and fsyncs, so a crash loses at
-// most one unsynced batch and can tear at most the final line. The read
-// path tolerates exactly that failure mode — an unparseable *final* line
-// is discarded (and truncated away when the store is reopened for
-// appending, so the next append starts on a clean line boundary); garbage
-// anywhere else is a hard error.
+// most one unsynced batch and can tear at most the final line of the
+// writer's open segment. The read path tolerates exactly that failure
+// mode — an unparseable *final* line of the newest segment of a writer
+// (or of the legacy runs.jsonl) is discarded; a torn or corrupt sealed
+// segment is a hard error, as is garbage anywhere but the tail. Sealed
+// segments named by a head manifest are verified against their recorded
+// byte length and fingerprint on every load.
 //
 // Opening a store checks the spec fingerprint in meta.json, so results
 // from different experiments can never silently mix in one store.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -59,7 +78,7 @@ struct stored_run {
     [[nodiscard]] bool failed() const { return !error.empty(); }
 };
 
-/// What a store knows about one unit ID after replaying runs.jsonl.
+/// What a store knows about one unit ID after replaying its records.
 struct unit_status {
     bool succeeded = false;
     /// Failed attempts on record (max of the attempt numbers seen and
@@ -71,13 +90,95 @@ struct unit_status {
 [[nodiscard]] json::value run_to_json(const stored_run& run);
 [[nodiscard]] stored_run run_from_json(const json::value& v);
 
+// --- segmented-layout vocabulary (shared with campaign sync) ----------------
+
+/// "runs-<writer>-<seq>.jsonl" (seq zero-padded for sortable listings).
+[[nodiscard]] std::string segment_file_name(int writer, long seq);
+/// Parses a segment file name; false for anything else (incl. runs.jsonl).
+[[nodiscard]] bool parse_segment_file_name(const std::string& name, int& writer, long& seq);
+/// "head-<writer>.json".
+[[nodiscard]] std::string head_file_name(int writer);
+[[nodiscard]] bool parse_head_file_name(const std::string& name, int& writer);
+
+/// FNV-1a-64 hex fingerprint of raw bytes — the content address `sync`
+/// and the head manifests use to recognize identical / grown segments.
+[[nodiscard]] std::string content_fingerprint(const std::string& bytes);
+
+/// Byte length of the longest record-valid prefix of JSONL content: every
+/// line up to and including the last one that parses as a record. An
+/// unparseable *final* line (torn tail) is excluded; unparseable content
+/// anywhere else throws. This is the durable part of a segment — what the
+/// writer keeps on reopen and what `sync` compares across machines.
+[[nodiscard]] std::size_t valid_record_prefix(const std::string& content);
+
+/// One sealed (immutable) segment as recorded in a head manifest.
+struct sealed_segment {
+    std::string file;
+    std::size_t bytes = 0;
+    std::string fingerprint;
+};
+
+/// A writer's head manifest (head-<writer>.json).
+struct writer_head {
+    int writer = 0;
+    /// Sequence number of the segment the writer has open (or will open).
+    long open_seq = 0;
+    std::vector<sealed_segment> sealed;
+};
+
+[[nodiscard]] json::value head_to_json(const writer_head& head);
+[[nodiscard]] writer_head head_from_json(const json::value& v);
+/// Loads head-<writer>.json into `out`; false when the file is absent.
+[[nodiscard]] bool load_writer_head(const std::string& directory, int writer, writer_head& out);
+/// Loads every head-<writer>.json manifest of a store directory.
+[[nodiscard]] std::vector<writer_head> load_store_heads(const std::string& directory);
+
+/// One record-bearing file of a store as the read path sees it.
+struct store_file {
+    /// File name within the store directory.
+    std::string name;
+    /// Writer (shard) id; -1 for the legacy runs.jsonl.
+    int writer = -1;
+    long seq = -1;
+    /// Torn trailing bytes are tolerated only here: the newest segment of
+    /// its writer, or the legacy file (each the one spot a live or killed
+    /// writer can have been appending to).
+    bool newest_of_writer = false;
+};
+
+/// Record-bearing files of a store in deterministic replay order: the
+/// legacy runs.jsonl first (when present), then segments by (writer, seq).
+[[nodiscard]] std::vector<store_file> scan_store_files(const std::string& directory);
+
+/// Writes `bytes` to `path` atomically: sibling temp file, fsync, rename.
+void atomic_write_file(const std::filesystem::path& path, const std::string& bytes);
+
+/// Reads a whole file into a string (binary); throws when unreadable.
+[[nodiscard]] std::string read_file_bytes(const std::filesystem::path& path);
+
+/// Knobs for opening a store for appending.
+struct store_options {
+    /// Writer (shard) id — names the segments this process appends to.
+    /// Writers of *different* ids can share one store directory safely.
+    int writer = 0;
+    /// Rotation threshold: the open segment is sealed once a flush leaves
+    /// it at or past this many bytes. 0 = QUBIKOS_CAMPAIGN_SEGMENT_BYTES
+    /// or the 8 MiB default. Segments may exceed the threshold by up to
+    /// one batch (rotation happens only on flush boundaries).
+    std::size_t segment_bytes = 0;
+};
+
 class result_store {
 public:
     /// Opens `directory` for appending, creating it (and meta.json) if
-    /// absent. Replays runs.jsonl to learn which unit IDs are already
-    /// complete; a torn final line is truncated away. Throws if the store
-    /// belongs to a different spec (fingerprint mismatch).
-    result_store(const std::string& directory, const campaign_spec& spec);
+    /// absent. Replays every record file to learn which unit IDs are
+    /// already complete; a torn tail on the writer's open segment is
+    /// truncated away. A v1 store (lone runs.jsonl) resumes appending to
+    /// runs.jsonl unchanged; anything else appends to this writer's
+    /// segments. Throws if the store belongs to a different spec
+    /// (fingerprint mismatch) or a sealed segment fails verification.
+    result_store(const std::string& directory, const campaign_spec& spec,
+                 const store_options& options = {});
     ~result_store();
 
     result_store(const result_store&) = delete;
@@ -99,12 +200,16 @@ public:
     /// Buffers one record (not yet durable until flush()).
     void append(const stored_run& run);
 
-    /// Writes the buffered records, fflushes and fsyncs. No-op when the
+    /// Writes the buffered records, fflushes and fsyncs, then rotates the
+    /// open segment if it crossed the size threshold. No-op when the
     /// buffer is empty.
     void flush();
 
-    /// Reads every intact record of a store (no spec check). A torn
-    /// final line is skipped; earlier corruption throws.
+    /// Reads every intact record of a store (no spec check), legacy file
+    /// first then segments by (writer, seq). Torn tails are skipped only
+    /// on the newest segment of each writer; corruption anywhere else —
+    /// including a sealed segment disagreeing with its head manifest —
+    /// throws.
     [[nodiscard]] static std::vector<stored_run> load_runs(const std::string& directory);
 
     /// Reads the spec snapshot out of a store's meta.json.
@@ -116,13 +221,29 @@ public:
 
 private:
     void note(const stored_run& run);
+    void open_segment(long seq, std::size_t resume_bytes, std::uint64_t resume_hash,
+                      bool needs_newline);
+    void seal_and_rotate();
+    void write_head() const;
 
     std::string directory_;
+    /// Path of the file currently open for appending (runs.jsonl in
+    /// legacy mode, this writer's open segment otherwise).
     std::string runs_path_;
     std::FILE* file_ = nullptr;
     std::string buffer_;
     std::unordered_set<std::string> completed_;
     std::unordered_map<std::string, unit_status> statuses_;
+
+    bool legacy_mode_ = false;
+    int writer_ = 0;
+    long open_seq_ = 0;
+    std::size_t segment_bytes_ = 0;
+    /// Bytes and running FNV-1a state of the open segment's content.
+    std::size_t current_bytes_ = 0;
+    std::uint64_t current_hash_ = 0;
+    /// This writer's sealed segments (mirrored into head-<writer>.json).
+    std::vector<sealed_segment> sealed_;
 };
 
 /// Folds one record into a unit's status — THE attempt-counting rule

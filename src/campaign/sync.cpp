@@ -1,0 +1,162 @@
+#include "campaign/sync.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "campaign/store.hpp"
+
+namespace qubikos::campaign {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// (open_seq, sealed count) ordering: the head that has sealed more —
+/// or opened a later segment — is the newer snapshot of its writer.
+bool head_advances(const writer_head& from, const writer_head& to) {
+    if (to.open_seq != from.open_seq) return to.open_seq > from.open_seq;
+    return to.sealed.size() > from.sealed.size();
+}
+
+/// Copies one record file from a source into the destination under the
+/// append-only contract. The durable (record-valid) prefixes must nest:
+/// a segment only ever changes by appending records — or by losing an
+/// unparseable torn tail when its writer truncates it on resume — so the
+/// copy with the longer valid prefix wins, a clean copy replaces a torn
+/// one of equal prefix (healing junk a pull from a live writer picked
+/// up), and valid prefixes that disagree are a hard error.
+void sync_record_file(const fs::path& src_path, const fs::path& dest_path,
+                      const std::string& name, const sync_options& options,
+                      sync_report& report) {
+    const std::string src_content = read_file_bytes(src_path);
+    if (!fs::exists(dest_path)) {
+        atomic_write_file(dest_path, src_content);
+        ++report.copied;
+        if (options.verbose) std::printf("  copy  %s (%zu bytes)\n", name.c_str(), src_content.size());
+        return;
+    }
+    const std::string dest_content = read_file_bytes(dest_path);
+    if (src_content == dest_content) {
+        ++report.unchanged;
+        if (options.verbose) std::printf("  keep  %s\n", name.c_str());
+        return;
+    }
+    const std::size_t src_end = valid_record_prefix(src_content);
+    const std::size_t dest_end = valid_record_prefix(dest_content);
+    const std::size_t common = std::min(src_end, dest_end);
+    const bool prefix_ok =
+        std::equal(src_content.begin(),
+                   src_content.begin() + static_cast<std::ptrdiff_t>(common),
+                   dest_content.begin());
+    if (!prefix_ok) {
+        throw std::runtime_error(
+            "campaign: sync: " + name + " in " + src_path.parent_path().string() +
+            " diverges from the destination's copy (same name, different records — "
+            "two writers shared a shard id, or the stores mix experiments)");
+    }
+    const bool src_clean = src_content.size() == src_end;
+    const bool dest_torn = dest_content.size() > dest_end;
+    if (src_end > dest_end || (src_end == dest_end && src_clean && dest_torn)) {
+        atomic_write_file(dest_path, src_content);
+        ++report.grown;
+        if (options.verbose) {
+            std::printf("  grow  %s (%zu -> %zu bytes)\n", name.c_str(), dest_content.size(),
+                        src_content.size());
+        }
+    } else {
+        ++report.unchanged;
+        if (options.verbose) std::printf("  keep  %s\n", name.c_str());
+    }
+}
+
+}  // namespace
+
+sync_report sync_stores(const std::string& destination, const std::vector<std::string>& sources,
+                        const sync_options& options) {
+    if (sources.empty()) {
+        throw std::invalid_argument("campaign: sync needs at least one source store");
+    }
+
+    // Every store involved must be the same experiment.
+    std::string fingerprint;
+    for (const auto& src : sources) {
+        const std::string fp = result_store::load_meta_fingerprint(src);
+        if (fingerprint.empty()) {
+            fingerprint = fp;
+        } else if (fp != fingerprint) {
+            throw std::runtime_error("campaign: sync: source " + src +
+                                     " belongs to a different spec (fingerprint " + fp +
+                                     " != " + fingerprint + ")");
+        }
+    }
+    const fs::path dest_dir(destination);
+    const fs::path dest_meta = dest_dir / "meta.json";
+    if (fs::exists(dest_meta)) {
+        const std::string existing = result_store::load_meta_fingerprint(destination);
+        if (existing != fingerprint) {
+            throw std::runtime_error("campaign: sync: destination " + destination +
+                                     " belongs to a different spec (fingerprint " + existing +
+                                     " != " + fingerprint + ")");
+        }
+    } else {
+        fs::create_directories(dest_dir);
+        // Byte-for-byte copy of the first source's snapshot, so the
+        // destination opens under the exact same meta a worker wrote.
+        atomic_write_file(dest_meta, read_file_bytes(fs::path(sources[0]) / "meta.json"));
+    }
+
+    sync_report report;
+    for (const auto& src : sources) {
+        if (options.verbose) std::printf("sync %s -> %s\n", src.c_str(), destination.c_str());
+
+        // Snapshot the source's head manifests BEFORE copying segments: a
+        // live writer may seal a segment mid-pass, and a head claiming
+        // bytes the copied files don't hold would fail verification in
+        // the destination. The stale direction (head behind segments) is
+        // always safe — sealed claims are immutable facts.
+        struct head_snapshot {
+            int writer;
+            writer_head parsed;
+            std::string bytes;
+        };
+        std::vector<head_snapshot> heads;
+        for (const auto& entry : fs::directory_iterator(src)) {
+            int writer = 0;
+            if (!entry.is_regular_file() ||
+                !parse_head_file_name(entry.path().filename().string(), writer)) {
+                continue;
+            }
+            const std::string bytes = read_file_bytes(entry.path());
+            heads.push_back({writer, head_from_json(json::parse(bytes)), bytes});
+        }
+
+        for (const auto& file : scan_store_files(src)) {
+            sync_record_file(fs::path(src) / file.name, dest_dir / file.name, file.name,
+                             options, report);
+        }
+
+        for (const auto& head : heads) {
+            const fs::path dest_head = dest_dir / head_file_name(head.writer);
+            if (fs::exists(dest_head)) {
+                const writer_head existing =
+                    head_from_json(json::parse(read_file_bytes(dest_head)));
+                // A head that hasn't advanced is simply skipped — the
+                // `unchanged` counter tracks record files only, so the
+                // CLI summary reconciles against the store's file list.
+                if (!head_advances(existing, head.parsed)) continue;
+            }
+            atomic_write_file(dest_head, head.bytes);
+            ++report.heads;
+            if (options.verbose) {
+                std::printf("  head  %s (open seq %ld, %zu sealed)\n",
+                            head_file_name(head.writer).c_str(), head.parsed.open_seq,
+                            head.parsed.sealed.size());
+            }
+        }
+    }
+    return report;
+}
+
+}  // namespace qubikos::campaign

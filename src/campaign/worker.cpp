@@ -126,6 +126,20 @@ struct unit_executor::impl {
         options.seed = unit.instance_seed;
         const core::queko_instance instance = core::generate_queko(device, options);
 
+        if (spec.mode == campaign_mode::tools) {
+            // Tools route the logical circuit against QUEKO's claimed
+            // count of 0: swap *ratios* are undefined (the aggregate
+            // renders them n/a) and the family's numbers live in the
+            // absolute totals — every measured swap is pure overhead.
+            core::benchmark_instance shim;
+            shim.arch_name = device.name;
+            shim.seed = unit.instance_seed;
+            shim.optimal_swaps = 0;
+            shim.logical = instance.logical;
+            run.record = eval::run_tool_record(tool_named(unit.tool), shim, device);
+            return;
+        }
+
         // QUEKO's claims (Tan & Cong): the hidden mapping executes every
         // gate in place (0 swaps), and VF2 alone recovers such a mapping.
         run.record.tool = unit.tool;
@@ -287,7 +301,12 @@ worker_report run_campaign_shard(const campaign_plan& plan, const std::string& s
     }
     const int max_attempts = std::max(1, plan.spec.max_attempts);
 
-    result_store store(store_dir, plan.spec);
+    // The shard id doubles as the store writer id, so any number of
+    // shards — in one process or on many machines — write disjoint
+    // segment files and their stores sync/merge without collisions.
+    store_options store_opts;
+    store_opts.writer = options.shard;
+    result_store store(store_dir, plan.spec, store_opts);
     const std::vector<std::size_t> owned =
         shard_indices(plan.units.size(), options.shard, options.num_shards);
 

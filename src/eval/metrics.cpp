@@ -17,6 +17,7 @@ std::vector<ratio_cell> aggregate(const std::vector<run_record>& records) {
         cell.average_swaps += static_cast<double>(record.measured_swaps);
         cell.average_seconds += record.seconds;
         cell.average_depth_ratio += record.depth_ratio;
+        cell.total_swaps += record.measured_swaps;
     }
     std::vector<ratio_cell> out;
     out.reserve(cells.size());
@@ -25,10 +26,12 @@ std::vector<ratio_cell> aggregate(const std::vector<run_record>& records) {
         cell.average_swaps /= cell.runs;
         cell.average_seconds /= cell.runs;
         cell.average_depth_ratio /= cell.runs;
-        if (cell.designed_swaps <= 0) {
-            throw std::invalid_argument("aggregate: non-positive designed swap count");
-        }
-        cell.swap_ratio = cell.average_swaps / cell.designed_swaps;
+        cell.total_optimal_swaps =
+            static_cast<long long>(cell.designed_swaps) * cell.runs;
+        // A zero claimed count (QUEKO) leaves the ratio undefined, not
+        // the cell broken: totals still aggregate, the renderers print
+        // "n/a" for the ratio, and the gap means skip the cell.
+        cell.swap_ratio = cell.has_ratio() ? cell.average_swaps / cell.designed_swaps : 0.0;
         out.push_back(cell);
     }
     return out;
@@ -38,7 +41,7 @@ double mean_ratio(const std::vector<ratio_cell>& cells, const std::string& tool)
     double total = 0.0;
     int count = 0;
     for (const auto& cell : cells) {
-        if (cell.tool != tool) continue;
+        if (cell.tool != tool || !cell.has_ratio()) continue;
         total += cell.swap_ratio;
         ++count;
     }
@@ -50,12 +53,19 @@ double geomean_ratio(const std::vector<ratio_cell>& cells, const std::string& to
     double log_total = 0.0;
     int count = 0;
     for (const auto& cell : cells) {
-        if (cell.tool != tool) continue;
+        if (cell.tool != tool || !cell.has_ratio()) continue;
         log_total += std::log(cell.swap_ratio);
         ++count;
     }
     if (count == 0) throw std::invalid_argument("geomean_ratio: no cells for tool " + tool);
     return std::exp(log_total / count);
+}
+
+bool has_ratio_cells(const std::vector<ratio_cell>& cells, const std::string& tool) {
+    for (const auto& cell : cells) {
+        if (cell.tool == tool && cell.has_ratio()) return true;
+    }
+    return false;
 }
 
 }  // namespace qubikos::eval

@@ -52,6 +52,17 @@ std::string scratch_dir(const std::string& name) {
     return dir.string();
 }
 
+/// The segment file a lone shard-0 writer is currently appending to (the
+/// highest-seq segment of writer 0) — where a crash can tear bytes.
+std::string newest_segment(const std::string& dir) {
+    std::string newest;
+    for (const auto& file : campaign::scan_store_files(dir)) {
+        if (file.writer == 0 && file.newest_of_writer) newest = dir + "/" + file.name;
+    }
+    EXPECT_FALSE(newest.empty()) << "no writer-0 segment in " << dir;
+    return newest;
+}
+
 /// Scoped QUBIKOS_CAMPAIGN_FAULT_UNIT, so a failing test can't leak the
 /// fault hook into later tests.
 class scoped_fault {
@@ -133,9 +144,9 @@ TEST(campaign_store, interrupted_run_with_torn_tail_resumes) {
     EXPECT_EQ(report.executed, 3u);
     EXPECT_EQ(report.remaining, plan.units.size() - 3);
 
-    // Simulate the crash tearing the file mid-append.
+    // Simulate the crash tearing the open segment mid-append.
     {
-        std::ofstream tail(dir + "/runs.jsonl", std::ios::app);
+        std::ofstream tail(newest_segment(dir), std::ios::app);
         tail << "{\"unit_id\": \"torn-by-cra";
     }
 
@@ -166,7 +177,7 @@ TEST(campaign_store, truncation_inside_a_record_drops_only_that_record) {
     (void)campaign::run_campaign_shard(plan, dir, options);
     ASSERT_EQ(campaign::result_store::load_runs(dir).size(), 2u);
 
-    const std::string path = dir + "/runs.jsonl";
+    const std::string path = newest_segment(dir);
     std::filesystem::resize_file(path, std::filesystem::file_size(path) - 7);
     EXPECT_EQ(campaign::result_store::load_runs(dir).size(), 1u);
 
@@ -184,12 +195,13 @@ TEST(campaign_store, corruption_before_the_tail_is_a_hard_error) {
     (void)campaign::run_campaign_shard(plan, dir, options);
 
     // Garbage with records after it is not a torn tail.
+    const std::string path = newest_segment(dir);
     std::string content;
     {
-        std::ifstream in(dir + "/runs.jsonl");
+        std::ifstream in(path);
         std::getline(in, content);
     }
-    std::ofstream out(dir + "/runs.jsonl", std::ios::trunc);
+    std::ofstream out(path, std::ios::trunc);
     out << "this is not json\n" << content << "\n";
     out.close();
     EXPECT_THROW((void)campaign::result_store::load_runs(dir), std::runtime_error);
@@ -425,9 +437,16 @@ TEST(campaign_plan, family_units_get_tagged_ids_and_claimed_counts) {
     EXPECT_EQ(plan.units[2].id, "u1:grid3x3:quekno:t2:i0:seed5:exact");
     EXPECT_EQ(plan.units[2].designed_swaps, 2);  // construction upper bound
 
-    // QUEKO's claimed count is 0, so tool ratios are undefined.
+    // Tools mode runs the full lineup on family suites too. QUEKO's
+    // claimed count stays 0 — ratios are undefined (rendered n/a) but
+    // the absolute-swap totals make the units meaningful.
     spec.mode = campaign::campaign_mode::tools;
-    EXPECT_THROW((void)campaign::expand_plan(spec), std::invalid_argument);
+    const auto tools_plan = campaign::expand_plan(spec);
+    ASSERT_EQ(tools_plan.units.size(), 12u);  // 3 instances x 4 tools
+    EXPECT_EQ(tools_plan.units[0].id, "u0:grid3x3:queko:d3:i0:seed1:lightsabre");
+    EXPECT_EQ(tools_plan.units[0].designed_swaps, 0);
+    EXPECT_EQ(tools_plan.units[8].family, campaign::benchmark_family::quekno);
+    EXPECT_EQ(tools_plan.units[8].designed_swaps, 2);
 }
 
 TEST(campaign_family, certify_matches_direct_generator_checks) {
@@ -518,6 +537,50 @@ TEST(campaign_family, certify_matches_direct_generator_checks) {
     EXPECT_NE(rendered.find("VF2 solvable"), std::string::npos);
     EXPECT_NE(rendered.find("[queko]"), std::string::npos);
     EXPECT_NE(rendered.find("[quekno]"), std::string::npos);
+}
+
+TEST(campaign_report, queko_tools_mode_renders_na_ratios_and_finite_totals) {
+    // Regression: tools-mode QUEKO campaigns used to be rejected at plan
+    // time because their 0-swap claim made eval::aggregate divide by
+    // zero. The absolute-swaps aggregate unblocks them: ratios render
+    // "n/a", totals stay finite.
+    campaign::campaign_spec spec;
+    spec.name = "queko_tools";
+    spec.mode = campaign::campaign_mode::tools;
+    spec.sabre_trials = 2;
+    spec.tools = {"lightsabre", "tket"};
+    campaign::campaign_suite queko;
+    queko.arch_name = "grid3x3";
+    queko.family = campaign::benchmark_family::queko;
+    queko.swap_counts = {3};
+    queko.circuits_per_count = 2;
+    queko.base_seed = 1;
+    spec.suites.push_back(queko);
+
+    const auto plan = campaign::expand_plan(spec);
+    ASSERT_EQ(plan.units.size(), 4u);  // 2 instances x 2 tools
+    const std::string dir = scratch_dir("queko_tools");
+    const auto report = campaign::run_campaign_shard(plan, dir, {});
+    EXPECT_EQ(report.failed_attempts, 0u);
+    EXPECT_EQ(report.invalid_runs, 0);
+
+    const auto merged = campaign::merge_stores(plan, {dir});
+    ASSERT_TRUE(merged.complete());
+    const auto cells = eval::aggregate(campaign::merged_records(merged));
+    ASSERT_FALSE(cells.empty());
+    for (const auto& cell : cells) {
+        EXPECT_FALSE(cell.has_ratio());
+        EXPECT_DOUBLE_EQ(cell.swap_ratio, 0.0);  // undefined, never infinite
+        EXPECT_EQ(cell.total_optimal_swaps, 0);
+    }
+
+    // Rendering this report used to throw; now every undefined ratio is
+    // an explicit "n/a" and the absolute totals carry the numbers.
+    const auto rendered = campaign::render_report(plan, merged);
+    EXPECT_NE(rendered.find("n/a"), std::string::npos);
+    EXPECT_NE(rendered.find("total swaps"), std::string::npos);
+    EXPECT_NE(rendered.find("total optimal"), std::string::npos);
+    EXPECT_NE(rendered.find("[queko]"), std::string::npos);
 }
 
 TEST(campaign_fault, tampered_plan_is_detected_not_trusted) {
@@ -612,27 +675,40 @@ TEST(campaign_fault, throwing_unit_quarantines_retries_and_merges_byte_identical
     EXPECT_EQ(campaign::render_report(plan, merged),
               campaign::render_report(plan, clean_merged));
 
-    // A fault-free store writes the v1 byte layout: first-attempt
+    // A fault-free store writes the v1 record layout: first-attempt
     // successes carry no attempt/error keys at all.
-    std::ifstream raw(clean + "/runs.jsonl");
-    std::string line;
-    while (std::getline(raw, line)) {
-        EXPECT_EQ(line.find("\"attempt\""), std::string::npos);
-        EXPECT_EQ(line.find("\"error\""), std::string::npos);
+    std::size_t lines = 0;
+    for (const auto& file : campaign::scan_store_files(clean)) {
+        std::ifstream raw(clean + "/" + file.name);
+        std::string line;
+        while (std::getline(raw, line)) {
+            ++lines;
+            EXPECT_EQ(line.find("\"attempt\""), std::string::npos);
+            EXPECT_EQ(line.find("\"error\""), std::string::npos);
+        }
     }
+    EXPECT_EQ(lines, plan.units.size());
 }
 
-TEST(campaign_store, v1_records_without_attempt_or_error_fields_load_and_resume) {
+TEST(campaign_store, v1_single_file_store_loads_and_resumes_unchanged) {
     const auto spec = small_spec();
     const auto plan = campaign::expand_plan(spec);
     const std::string dir = scratch_dir("v1_compat");
-    { campaign::result_store store(dir, spec); }  // writes meta.json
 
-    // Byte-for-byte what the PR-2 store wrote: no attempt / error /
-    // vf2_solvable keys — plus a torn tail, the crash signature the
-    // format has always tolerated.
+    // Byte-for-byte what a PR-2 store looked like: meta.json plus a lone
+    // runs.jsonl whose records have no attempt / error / vf2_solvable
+    // keys — ending in a torn tail, the crash signature the format has
+    // always tolerated. Built by hand: the current store would create a
+    // segmented layout.
     {
-        std::ofstream out(dir + "/runs.jsonl", std::ios::app);
+        std::filesystem::create_directories(dir);
+        json::object meta;
+        meta["schema"] = "qubikos.campaign_store.v1";
+        meta["name"] = spec.name;
+        meta["fingerprint"] = campaign::spec_fingerprint(spec);
+        meta["spec"] = campaign::spec_to_json(spec);
+        std::ofstream(dir + "/meta.json") << json::value(std::move(meta)).dump(2) << "\n";
+        std::ofstream out(dir + "/runs.jsonl");
         out << "{\"depth_ratio\":1.5,\"designed_swaps\":1,\"measured_swaps\":1,"
                "\"seconds\":0.01,\"tool\":\"lightsabre\",\"unit_id\":\""
             << plan.units[0].id << "\",\"valid\":true}\n";
@@ -647,16 +723,26 @@ TEST(campaign_store, v1_records_without_attempt_or_error_fields_load_and_resume)
     EXPECT_EQ(runs[0].vf2_solvable, -1);
 
     // Reopening truncates the torn tail and resumes past the v1 record.
-    campaign::result_store store(dir, spec);
-    EXPECT_TRUE(store.is_complete(plan.units[0].id));
-    EXPECT_TRUE(store.status(plan.units[0].id).succeeded);
-    EXPECT_EQ(store.status(plan.units[0].id).failed_attempts, 0);
+    {
+        campaign::result_store store(dir, spec);
+        EXPECT_TRUE(store.is_complete(plan.units[0].id));
+        EXPECT_TRUE(store.status(plan.units[0].id).succeeded);
+        EXPECT_EQ(store.status(plan.units[0].id).failed_attempts, 0);
+    }
 
     campaign::worker_options options;
     options.max_units = 2;
     const auto report = campaign::run_campaign_shard(plan, dir, options);
     EXPECT_EQ(report.skipped, 1u);
     EXPECT_EQ(report.executed, 2u);
+
+    // The guarantee that keeps every existing store usable: a v1 store
+    // stays v1 — appends land in runs.jsonl, no segments or heads appear.
+    for (const auto& file : campaign::scan_store_files(dir)) {
+        EXPECT_EQ(file.name, "runs.jsonl");
+    }
+    EXPECT_FALSE(std::filesystem::exists(dir + "/head-0.json"));
+    EXPECT_EQ(campaign::result_store::load_runs(dir).size(), 3u);
 }
 
 }  // namespace

@@ -31,6 +31,10 @@ TEST(metrics, aggregate_groups_and_ratios) {
     EXPECT_DOUBLE_EQ(cells[0].swap_ratio, 3.0);
     EXPECT_DOUBLE_EQ(cells[1].swap_ratio, 1.0);
     EXPECT_DOUBLE_EQ(cells[2].swap_ratio, 10.0);
+    EXPECT_EQ(cells[0].total_swaps, 30u);
+    EXPECT_EQ(cells[0].total_optimal_swaps, 10);
+    EXPECT_EQ(cells[2].total_swaps, 50u);
+    EXPECT_EQ(cells[2].total_optimal_swaps, 5);
 
     EXPECT_DOUBLE_EQ(eval::mean_ratio(cells, "sabre"), 2.0);
     EXPECT_NEAR(eval::geomean_ratio(cells, "sabre"), std::sqrt(3.0), 1e-12);
@@ -38,10 +42,22 @@ TEST(metrics, aggregate_groups_and_ratios) {
     EXPECT_THROW((void)eval::geomean_ratio(cells, "unknown"), std::invalid_argument);
 }
 
-TEST(metrics, aggregate_rejects_zero_designed) {
+TEST(metrics, zero_designed_cell_carries_totals_but_no_ratio) {
+    // A 0-optimal-swaps cell (the QUEKO family's claim) must aggregate
+    // without dividing by zero: the ratio is undefined, the absolute
+    // totals are not.
     std::vector<eval::run_record> records;
-    records.push_back({"sabre", 0, 1, 0.1, true});
-    EXPECT_THROW((void)eval::aggregate(records), std::invalid_argument);
+    records.push_back({"sabre", 0, 4, 0.1, true});
+    records.push_back({"sabre", 0, 6, 0.1, true});
+    const auto cells = eval::aggregate(records);
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_FALSE(cells[0].has_ratio());
+    EXPECT_DOUBLE_EQ(cells[0].swap_ratio, 0.0);
+    EXPECT_EQ(cells[0].total_swaps, 10u);
+    EXPECT_EQ(cells[0].total_optimal_swaps, 0);
+    // The gap means have no ratio-bearing cells to average.
+    EXPECT_FALSE(eval::has_ratio_cells(cells, "sabre"));
+    EXPECT_THROW((void)eval::mean_ratio(cells, "sabre"), std::invalid_argument);
 }
 
 TEST(harness, evaluates_suite_end_to_end) {
