@@ -11,6 +11,8 @@
 #include "bench_common.hpp"
 #include "core/suite.hpp"
 #include "eval/harness.hpp"
+#include "tools/context.hpp"
+#include "tools/registry.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -45,14 +47,15 @@ int main() {
         spec.base_seed = 777;
         const core::suite s = core::generate_suite(device, spec);
 
+        // Every lambda variant shares the device's routing context, so
+        // the sweep builds the distance matrix once per architecture.
+        const auto context = tools::make_routing_context(device.coupling);
         for (const double lambda : lambdas) {
-            std::vector<eval::tool> tools;
-            router::sabre_options sabre;
-            sabre.trials = trials;
-            sabre.lookahead_decay = lambda;
-            tools.push_back({"sabre", [sabre](const circuit& c, const graph& g) {
-                                 return router::route_sabre(c, g, sabre);
-                             }});
+            // The ablation variant comes from the registry — the same
+            // "sabre" entry a campaign spec or `--tool sabre:...` selects.
+            const std::vector<eval::tool> tools = {tools::make_tool(
+                "sabre",
+                json::object{{"trials", trials}, {"lookahead_decay", lambda}}, context)};
             const auto result = eval::evaluate_suite(s, device, tools);
             if (result.invalid_runs != 0) {
                 std::printf("ERROR: invalid routings at lambda=%.1f\n", lambda);

@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 #include "core/suite.hpp"
 #include "eval/harness.hpp"
+#include "tools/context.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -47,7 +48,7 @@ int main() {
                                                       {"tket", "330x"}};
 
     eval::toolbox_options toolbox;
-    toolbox.sabre_trials = sabre_trials;
+    toolbox.sabre.trials = sabre_trials;
     const auto tools = eval::paper_toolbox(toolbox);
 
     std::map<std::string, double> gap_sum;
@@ -70,9 +71,13 @@ int main() {
 
         eval::toolbox_options tb = toolbox;
         if (device.num_qubits() > 100 && bench::bench_scale() != bench::scale::paper) {
-            tb.sabre_trials = 24;
+            tb.sabre.trials = 24;
         }
-        const auto result = eval::evaluate_suite(s, device, eval::paper_toolbox(tb));
+        // Shared per-device routing context: the 4-tool lineup reuses one
+        // distance matrix across every circuit of the sweep.
+        const auto result = eval::evaluate_suite(
+            s, device,
+            eval::paper_toolbox(tb, tools::make_routing_context(device.coupling)));
         if (result.invalid_runs != 0) {
             std::printf("ERROR: %d invalid routed circuits on %s\n", result.invalid_runs,
                         device.name.c_str());

@@ -74,10 +74,10 @@ int main() {
     spec.suites.push_back(qubikos_suite);
 
     const auto plan = campaign::expand_plan(spec);
-    // One store per configuration: the fingerprint separates scales, so
-    // a half-finished paper-scale store survives intermediate smoke runs.
+    // One store per configuration (QUBIKOS_CAMPAIGN_STORE_DIR overrides
+    // the root for fleet runs collected with `campaign pull`).
     const std::string store_dir =
-        "bench_results/campaign/" + spec.name + "_" + campaign::spec_fingerprint(spec);
+        bench::campaign_store_dir(spec.name, campaign::spec_fingerprint(spec));
 
     campaign::worker_options worker;
     worker.threads = 0;  // suite-level parallelism

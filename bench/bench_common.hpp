@@ -37,6 +37,21 @@ inline const char* scale_name(scale s) {
     return "?";
 }
 
+/// Campaign store directory for a bench: <base>/<name>_<fingerprint>.
+/// <base> defaults to bench_results/campaign next to the binary;
+/// QUBIKOS_CAMPAIGN_STORE_DIR overrides it, which is how a fleet run
+/// points every machine's benches at a local store root that
+/// `qubikos_cli campaign pull` later collects (see README "Fleet-running
+/// the benches"). The fingerprint suffix keeps scales/configs separate,
+/// so a half-finished paper-scale store survives smoke runs.
+inline std::string campaign_store_dir(const std::string& campaign_name,
+                                      const std::string& fingerprint) {
+    const char* base = std::getenv("QUBIKOS_CAMPAIGN_STORE_DIR");
+    const std::string root =
+        (base != nullptr && *base != '\0') ? base : "bench_results/campaign";
+    return root + "/" + campaign_name + "_" + fingerprint;
+}
+
 /// Saves a CSV next to the binary under bench_results/.
 inline void save_results(const csv::writer& w, const std::string& name) {
     std::filesystem::create_directories("bench_results");

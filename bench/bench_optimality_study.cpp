@@ -48,8 +48,10 @@ int main() {
     }
 
     const auto plan = campaign::expand_plan(spec);
+    // QUBIKOS_CAMPAIGN_STORE_DIR overrides the store root for fleet runs
+    // collected with `campaign pull`.
     const std::string store_dir =
-        "bench_results/campaign/" + spec.name + "_" + campaign::spec_fingerprint(spec);
+        bench::campaign_store_dir(spec.name, campaign::spec_fingerprint(spec));
     std::printf("config: %d circuits per (arch, n), n in 1..4, <=30 two-qubit gates\n", per_count);
     std::printf("campaign store: %s (%zu units, %zu threads)\n\n", store_dir.c_str(),
                 plan.units.size(), thread_pool::resolve_threads(0));

@@ -10,6 +10,7 @@
 #include "arch/architectures.hpp"
 #include "core/suite.hpp"
 #include "eval/harness.hpp"
+#include "tools/context.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -31,8 +32,11 @@ int main(int argc, char** argv) {
     const core::suite s = core::generate_suite(device, spec);
 
     eval::toolbox_options toolbox;
-    toolbox.sabre_trials = trials;
-    const auto tools = eval::paper_toolbox(toolbox);
+    toolbox.sabre.trials = trials;
+    // One shared routing context: the whole lineup reuses the device's
+    // distance matrix instead of rebuilding it per routed circuit.
+    const auto tools =
+        eval::paper_toolbox(toolbox, tools::make_routing_context(device.coupling));
 
     std::printf("running %zu tools x %zu circuits on %s...\n", tools.size(),
                 s.instances.size(), device.name.c_str());

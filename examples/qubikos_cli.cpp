@@ -5,8 +5,10 @@
 //   qubikos_cli suite <arch> <out_dir> [gates] [per_count] [seed]
 //   qubikos_cli verify <suite_dir>
 //   qubikos_cli certify <suite_dir> [conflict_limit]
-//   qubikos_cli route <tool> <arch> <circuit.qasm> [trials]
-//   qubikos_cli campaign init <spec.json>
+//   qubikos_cli tools list
+//   qubikos_cli tools describe <tool>
+//   qubikos_cli route <tool[:key=val,...]> <arch> <circuit.qasm> [trials]
+//   qubikos_cli campaign init <spec.json> [--tool name[:key=val,...]]...
 //   qubikos_cli campaign plan <spec.json> [num_shards]
 //   qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]
 //                            [--threads t] [--max-units m] [--batch b]
@@ -17,7 +19,8 @@
 //   qubikos_cli campaign merge <spec.json> <out_store> <in_store>...
 //   qubikos_cli campaign report <spec.json> <store>...
 //
-// Tools: lightsabre | mlqls | qmap | tket.
+// The tool axis comes from the self-describing registry (`tools list`
+// shows the lineup, `tools describe <tool>` its option schema).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +42,8 @@
 #include "core/verifier.hpp"
 #include "eval/harness.hpp"
 #include "exact/olsq.hpp"
+#include "tools/context.hpp"
+#include "tools/registry.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -49,12 +54,14 @@ int usage() {
     std::fprintf(stderr,
                  "usage:\n"
                  "  qubikos_cli arches\n"
+                 "  qubikos_cli tools list\n"
+                 "  qubikos_cli tools describe <tool>\n"
                  "  qubikos_cli generate <arch> <swaps> <gates> <seed> [out_prefix]\n"
                  "  qubikos_cli suite <arch> <out_dir> [gates] [per_count] [seed]\n"
                  "  qubikos_cli verify <suite_dir>\n"
                  "  qubikos_cli certify <suite_dir> [conflict_limit]\n"
-                 "  qubikos_cli route <tool> <arch> <circuit.qasm> [trials]\n"
-                 "  qubikos_cli campaign init <spec.json>\n"
+                 "  qubikos_cli route <tool[:key=val,...]> <arch> <circuit.qasm> [trials]\n"
+                 "  qubikos_cli campaign init <spec.json> [--tool name[:key=val,...]]...\n"
                  "  qubikos_cli campaign plan <spec.json> [num_shards]\n"
                  "  qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]\n"
                  "                           [--threads t] [--max-units m] [--batch b]\n"
@@ -166,39 +173,90 @@ int cmd_certify(int argc, char** argv) {
     return confirmed + aborted == static_cast<int>(s.instances.size()) ? 0 : 1;
 }
 
-int cmd_route(int argc, char** argv) {
-    if (argc < 5) return usage();
-    const std::string tool_name = argv[2];
-    const auto device = arch::by_name(argv[3]);
-    const circuit logical = qasm::load(argv[4]);
-    eval::toolbox_options toolbox;
-    toolbox.sabre_trials = argc > 5 ? std::atoi(argv[5]) : 32;
-    for (const auto& tool : eval::paper_toolbox(toolbox)) {
-        if (tool.name != tool_name) continue;
-        stopwatch timer;
-        const auto routed = tool.run(logical, device.coupling);
-        const auto report = validate_routed(logical, routed, device.coupling);
-        if (!report.valid) {
-            std::printf("INVALID routing: %s\n", report.error.c_str());
-            return 1;
-        }
-        std::printf("tool=%s swaps=%zu seconds=%.3f\n", tool.name.c_str(), report.swap_count,
-                    timer.seconds());
+// --- tools subcommands ------------------------------------------------------
+
+int cmd_tools(int argc, char** argv) {
+    if (argc < 3) return usage();
+    if (std::strcmp(argv[2], "list") == 0) {
+        std::fputs(tools::render_tool_table().c_str(), stdout);
+        std::printf("select options with tool:key=val,... "
+                    "(`qubikos_cli tools describe <tool>` shows the schema)\n");
         return 0;
     }
-    std::fprintf(stderr, "unknown tool '%s' (lightsabre|mlqls|qmap|tket)\n", tool_name.c_str());
-    return 2;
+    if (std::strcmp(argv[2], "describe") == 0 && argc > 3) {
+        std::fputs(tools::describe_tool(argv[3]).c_str(), stdout);
+        return 0;
+    }
+    return usage();
+}
+
+int cmd_route(int argc, char** argv) {
+    if (argc < 5) return usage();
+    // Any registry tool, with inline overrides: route sabre:trials=8,...
+    // A bad selector is a usage error (exit 2, like the pre-registry
+    // unknown-tool path), distinct from a failed routing (exit 1).
+    tools::tool_selection selection;
+    try {
+        selection = tools::parse_tool_spec(argv[2]);
+        (void)tools::resolve_options(tools::tool_registry_info(selection.name),
+                                     selection.options);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    const auto device = arch::by_name(argv[3]);
+    const circuit logical = qasm::load(argv[4]);
+    if (argc > 5 && tools::tool_registry_info(selection.name).find_option("trials") != nullptr) {
+        // Positional trial count (back-compat; ignored by trial-less
+        // tools as before); explicit overrides win.
+        json::object overrides =
+            selection.options.is_null() ? json::object{} : selection.options.as_object();
+        if (overrides.find("trials") == overrides.end()) {
+            overrides["trials"] = std::atoi(argv[5]);
+        }
+        selection.options = json::value(std::move(overrides));
+    }
+    const auto tool = tools::make_tool(selection.name, selection.options,
+                                       tools::make_routing_context(device.coupling));
+    stopwatch timer;
+    const auto routed = tool.run(logical, device.coupling);
+    const auto report = validate_routed(logical, routed, device.coupling);
+    if (!report.valid) {
+        std::printf("INVALID routing: %s\n", report.error.c_str());
+        return 1;
+    }
+    std::printf("tool=%s swaps=%zu seconds=%.3f\n", selection.canonical().c_str(),
+                report.swap_count, timer.seconds());
+    return 0;
 }
 
 // --- campaign subcommands ---------------------------------------------------
 
 int cmd_campaign_init(int argc, char** argv) {
     if (argc < 4) return usage();
-    const auto spec = campaign::example_spec();
+    auto spec = campaign::example_spec();
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tool") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--tool needs a value (name[:key=val,...])\n");
+                return 2;
+            }
+            // A selection with overrides becomes a labeled variant; the
+            // canonical "name:key=val,..." form keeps two variants of the
+            // same tool distinguishable in unit IDs and tables.
+            const auto selection = tools::parse_tool_spec(argv[++i]);
+            spec.tools.emplace_back(selection.name, selection.options, selection.canonical());
+        } else {
+            std::fprintf(stderr, "unknown campaign init option '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
     campaign::save_spec(spec, argv[3]);
     const auto plan = campaign::expand_plan(spec);
-    std::printf("wrote example spec '%s' to %s (%zu work units)\n", spec.name.c_str(), argv[3],
-                plan.units.size());
+    std::printf("wrote example spec '%s' to %s (%zu work units over %zu tools)\n",
+                spec.name.c_str(), argv[3], plan.units.size(),
+                campaign::resolved_tool_names(spec).size());
     return 0;
 }
 
@@ -361,6 +419,7 @@ int main(int argc, char** argv) {
     if (argc < 2) return usage();
     try {
         if (std::strcmp(argv[1], "arches") == 0) return cmd_arches();
+        if (std::strcmp(argv[1], "tools") == 0) return cmd_tools(argc, argv);
         if (std::strcmp(argv[1], "generate") == 0) return cmd_generate(argc, argv);
         if (std::strcmp(argv[1], "suite") == 0) return cmd_suite(argc, argv);
         if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(argc, argv);

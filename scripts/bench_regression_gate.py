@@ -6,9 +6,10 @@ Usage:
         [--max-regression 0.25] [--min-seconds 1e-5]
 
 Compares the tracked single-threaded sections of bench_micro's timed
-output (distance_matrix per architecture, candidate_swaps per-call, and
-route_pass) and fails — exit code 1 — when any section regressed by more
-than --max-regression (default 25%, overridable with the
+output (distance_matrix per architecture, candidate_swaps per-call,
+route_pass, and the routing_context shared-distance-matrix path) and
+fails — exit code 1 — when any section regressed by more than
+--max-regression (default 25%, overridable with the
 QUBIKOS_BENCH_GATE_PCT env var, e.g. QUBIKOS_BENCH_GATE_PCT=40).
 
 route_sabre_trials is deliberately untracked: its multi-threaded timings
@@ -38,6 +39,11 @@ def tracked_sections(doc):
     rp = doc.get("route_pass")
     if rp is not None:
         yield "route_pass/" + rp["arch"], float(rp["seconds"])
+    rc = doc.get("routing_context")
+    if rc is not None:
+        # Gate the shared-context path (the registry tools' hot path);
+        # the rebuild timing is informational — it measures the fallback.
+        yield "routing_context/" + rc["arch"], float(rc["seconds_shared"])
 
 
 def default_max_regression():

@@ -19,7 +19,11 @@
 #      killed mid-run, `campaign sync` collects both — torn tail and all —
 #      the killed machine resumes, a re-sync picks up only grown/new
 #      segments, a further re-sync is a no-op, and the merged report is
-#      byte-identical to the reference.
+#      byte-identical to the reference;
+#   8. tool-variant drill: a spec-v3 campaign (an option-overridden
+#      registry variant next to a stock tool) runs sharded with a
+#      kill/resume, and the merged report — variant labels and all — is
+#      byte-identical to its single-process reference.
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -144,3 +148,41 @@ diff "$WORK/ref_report.txt" "$WORK/synced_report.txt"
 diff "$WORK/ref_report.txt" "$WORK/collect_report.txt"
 unset QUBIKOS_CAMPAIGN_SEGMENT_BYTES
 echo "OK: two-machine sync + merge is byte-identical to the single-process reference"
+
+echo "--- tool-variant drill: spec v3 with an overridden registry variant"
+# A trimmed-trials lightsabre variant next to stock tket: the spec must
+# come out v3, plan unit IDs must carry the variant label, and the
+# sharded kill/resume/merge pipeline must hold for variant campaigns
+# exactly as it does for the stock lineup.
+"$CLI" campaign init "$WORK/v3_spec.json" \
+  --tool lightsabre:trials=2 --tool tket
+grep -q '"schema": "qubikos.campaign_spec.v3"' "$WORK/v3_spec.json" || {
+  echo "error: --tool with overrides should emit a v3 spec" >&2
+  exit 1
+}
+"$CLI" campaign plan "$WORK/v3_spec.json" 2 | tee "$WORK/v3_plan.txt"
+grep -q "lightsabre:trials=2" "$WORK/v3_plan.txt" || {
+  echo "error: plan does not carry the variant label in unit IDs" >&2
+  exit 1
+}
+
+echo "--- v3 single-process reference"
+"$CLI" campaign run "$WORK/v3_spec.json" "$WORK/v3_ref"
+"$CLI" campaign report "$WORK/v3_spec.json" "$WORK/v3_ref" > "$WORK/v3_ref_report.txt"
+grep -q "lightsabre:trials=2" "$WORK/v3_ref_report.txt" || {
+  echo "error: report tables do not list the variant label" >&2
+  exit 1
+}
+
+echo "--- v3 shards (shard 1 killed midway, torn, resumed)"
+"$CLI" campaign run "$WORK/v3_spec.json" "$WORK/v3_s0" --shard 0/2
+"$CLI" campaign run "$WORK/v3_spec.json" "$WORK/v3_s1" --shard 1/2 --max-units 3
+V3_OPEN=$(ls "$WORK/v3_s1"/runs-1-*.jsonl | sort | tail -1)
+printf '{"unit_id": "torn-by-crash' >> "$V3_OPEN"
+"$CLI" campaign run "$WORK/v3_spec.json" "$WORK/v3_s1" --shard 1/2
+
+echo "--- v3 merged report is byte-identical to the reference"
+"$CLI" campaign merge "$WORK/v3_spec.json" "$WORK/v3_merged" "$WORK/v3_s0" "$WORK/v3_s1"
+"$CLI" campaign report "$WORK/v3_spec.json" "$WORK/v3_merged" > "$WORK/v3_merged_report.txt"
+diff "$WORK/v3_ref_report.txt" "$WORK/v3_merged_report.txt"
+echo "OK: v3 tool-variant campaign survives kill/resume/merge byte-identically"

@@ -6,15 +6,13 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "tools/registry.hpp"
 
 namespace qubikos::campaign {
 
 namespace {
-
-const std::vector<std::string>& paper_tool_names() {
-    static const std::vector<std::string> names = {"lightsabre", "mlqls", "qmap", "tket"};
-    return names;
-}
 
 /// True when the spec uses any schema-v2 feature. v1 specs must keep
 /// serializing in the v1 form so their fingerprints (and the stores keyed
@@ -24,6 +22,39 @@ bool uses_v2_features(const campaign_spec& spec) {
     return std::any_of(spec.suites.begin(), spec.suites.end(), [](const campaign_suite& s) {
         return s.family != benchmark_family::qubikos;
     });
+}
+
+/// True when any tool entry needs the v3 representation (options or a
+/// custom label). Plain-name specs keep the v1/v2 bytes and fingerprints.
+bool uses_v3_features(const campaign_spec& spec) {
+    return std::any_of(spec.tools.begin(), spec.tools.end(),
+                       [](const tool_variant& t) { return !t.plain(); });
+}
+
+json::value tool_variant_to_json(const tool_variant& variant) {
+    // Plain entries stay bare strings in every schema, so adding one
+    // variant to a lineup doesn't reshape the others.
+    if (variant.plain()) return json::value(variant.name);
+    json::object o;
+    o["name"] = variant.name;
+    if (!variant.label.empty() && variant.label != variant.name) o["label"] = variant.label;
+    if (variant.has_options()) o["options"] = variant.options;
+    return json::value(std::move(o));
+}
+
+tool_variant tool_variant_from_json(const json::value& v) {
+    if (v.type() == json::kind::string) return tool_variant(v.as_string());
+    tool_variant variant;
+    variant.name = v.at("name").as_string();
+    if (v.contains("label")) variant.label = v.at("label").as_string();
+    if (v.contains("options")) {
+        if (v.at("options").type() != json::kind::object) {
+            throw std::invalid_argument("campaign: tool options for '" + variant.name +
+                                        "' must be a JSON object");
+        }
+        variant.options = v.at("options");
+    }
+    return variant;
 }
 
 json::value suite_spec_to_json(const campaign_suite& spec, bool v2) {
@@ -96,15 +127,18 @@ benchmark_family family_from_name(const std::string& name) {
 
 json::value spec_to_json(const campaign_spec& spec) {
     const bool v2 = uses_v2_features(spec);
+    const bool v3 = uses_v3_features(spec);
     json::object o;
-    o["schema"] = v2 ? "qubikos.campaign_spec.v2" : "qubikos.campaign_spec.v1";
+    o["schema"] = v3   ? "qubikos.campaign_spec.v3"
+                  : v2 ? "qubikos.campaign_spec.v2"
+                       : "qubikos.campaign_spec.v1";
     o["name"] = spec.name;
     o["mode"] = mode_name(spec.mode);
     json::array suites;
     for (const auto& s : spec.suites) suites.push_back(suite_spec_to_json(s, v2));
     o["suites"] = std::move(suites);
     json::array tools;
-    for (const auto& t : spec.tools) tools.push_back(t);
+    for (const auto& t : spec.tools) tools.push_back(tool_variant_to_json(t));
     o["tools"] = std::move(tools);
     o["sabre_trials"] = spec.sabre_trials;
     o["toolbox_seed"] = static_cast<std::int64_t>(spec.toolbox_seed);
@@ -118,14 +152,17 @@ json::value spec_to_json(const campaign_spec& spec) {
 
 campaign_spec spec_from_json(const json::value& v) {
     const std::string schema = v.at("schema").as_string();
-    if (schema != "qubikos.campaign_spec.v1" && schema != "qubikos.campaign_spec.v2") {
+    if (schema != "qubikos.campaign_spec.v1" && schema != "qubikos.campaign_spec.v2" &&
+        schema != "qubikos.campaign_spec.v3") {
         throw std::invalid_argument("campaign: unsupported spec schema '" + schema + "'");
     }
     campaign_spec spec;
     spec.name = v.at("name").as_string();
     spec.mode = mode_from_name(v.at("mode").as_string());
     for (const auto& s : v.at("suites").as_array()) spec.suites.push_back(suite_spec_from_json(s));
-    for (const auto& t : v.at("tools").as_array()) spec.tools.push_back(t.as_string());
+    for (const auto& t : v.at("tools").as_array()) {
+        spec.tools.push_back(tool_variant_from_json(t));
+    }
     spec.sabre_trials = v.at("sabre_trials").as_int();
     spec.toolbox_seed = static_cast<std::uint64_t>(v.at("toolbox_seed").as_number());
     spec.conflict_limit = static_cast<std::uint64_t>(v.at("conflict_limit").as_number());
@@ -168,14 +205,34 @@ std::string spec_fingerprint(const campaign_spec& spec) {
 
 std::vector<std::string> resolved_tool_names(const campaign_spec& spec) {
     if (spec.mode == campaign_mode::certify) return {"exact"};
-    if (spec.tools.empty()) return paper_tool_names();
-    const auto& known = paper_tool_names();
-    for (const auto& name : spec.tools) {
-        if (std::find(known.begin(), known.end(), name) == known.end()) {
-            throw std::invalid_argument("campaign: unknown tool '" + name + "'");
+    std::vector<std::string> labels;
+    std::unordered_set<std::string> seen;
+    for (const auto& variant : resolved_tool_variants(spec)) {
+        labels.push_back(variant.display());
+        if (!seen.insert(labels.back()).second) {
+            throw std::invalid_argument("campaign: duplicate tool label '" + labels.back() +
+                                        "' (give variants distinct labels)");
         }
     }
-    return spec.tools;
+    return labels;
+}
+
+std::vector<tool_variant> resolved_tool_variants(const campaign_spec& spec) {
+    if (spec.mode == campaign_mode::certify) {
+        throw std::logic_error("campaign: certify mode has no registry tool variants");
+    }
+    std::vector<tool_variant> variants;
+    if (spec.tools.empty()) {
+        for (const auto& name : tools::paper_tool_names()) variants.emplace_back(name);
+    } else {
+        variants = spec.tools;
+    }
+    for (const auto& variant : variants) {
+        // Registry lookup throws on unknown names; option keys/types are
+        // validated too, so a bad spec dies at plan time, not mid-shard.
+        (void)tools::resolve_options(tools::tool_registry_info(variant.name), variant.options);
+    }
+    return variants;
 }
 
 campaign_spec example_spec() {

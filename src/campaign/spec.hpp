@@ -15,6 +15,14 @@
 // solvability probe. A spec that uses none of the v2 features serializes
 // in the v1 form byte for byte, so its fingerprint — and therefore every
 // existing result store — is preserved.
+//
+// Schema v3 turns the tool axis into *variants*: a spec entry may name
+// any registry tool (tools/registry.hpp) with inline JSON option
+// overrides and a display label, so one campaign can compare, say,
+// lightsabre at two trial counts against an ablated sabre — without
+// recompiling anything. Plain string entries (and empty tools) keep the
+// v1/v2 canonical form byte for byte, so every pre-v3 fingerprint and
+// store survives.
 #pragma once
 
 #include <cstdint>
@@ -57,14 +65,48 @@ struct campaign_suite : core::suite_spec {
     int quekno_gates_per_epoch = 20;
 };
 
+/// One tool column of a campaign: a registry tool name, optional inline
+/// option overrides (validated against the tool's schema at plan/run
+/// time) and the label the variant reports under — unit IDs, status and
+/// report tables all carry the label, so two variants of one tool stay
+/// distinguishable. Implicitly convertible from a plain name, so v1/v2
+/// call sites (`spec.tools = {"lightsabre", "tket"}`) stay source-
+/// compatible.
+struct tool_variant {
+    std::string name;
+    /// Display label; empty = the name.
+    std::string label;
+    /// JSON object of option overrides; null = none.
+    json::value options;
+
+    tool_variant() = default;
+    tool_variant(std::string tool_name) : name(std::move(tool_name)) {}  // NOLINT(*-explicit-*)
+    tool_variant(const char* tool_name) : name(tool_name) {}             // NOLINT(*-explicit-*)
+    tool_variant(std::string tool_name, json::value overrides, std::string display_label = "")
+        : name(std::move(tool_name)),
+          label(std::move(display_label)),
+          options(std::move(overrides)) {}
+
+    [[nodiscard]] const std::string& display() const { return label.empty() ? name : label; }
+    [[nodiscard]] bool has_options() const {
+        return !options.is_null() && !options.as_object().empty();
+    }
+    /// True when the entry is expressible in the v1/v2 schema (a bare
+    /// tool name).
+    [[nodiscard]] bool plain() const {
+        return !has_options() && (label.empty() || label == name);
+    }
+};
+
 struct campaign_spec {
     std::string name = "campaign";
     campaign_mode mode = campaign_mode::tools;
     /// One entry per (architecture, sweep); expanded in order.
     std::vector<campaign_suite> suites;
-    /// Tool names to run (subset of the paper toolbox); empty = all four.
-    /// Ignored in certify mode (the single "exact" pseudo-tool runs).
-    std::vector<std::string> tools;
+    /// Tool variants to run (any registry tool); empty = the paper's
+    /// four. Ignored in certify mode (the single "exact" pseudo-tool
+    /// runs).
+    std::vector<tool_variant> tools;
     int sabre_trials = 32;
     std::uint64_t toolbox_seed = 1;
     /// Per-SAT-call conflict budget in certify mode (0 = unlimited).
@@ -86,10 +128,12 @@ struct campaign_spec {
 [[nodiscard]] benchmark_family family_from_name(const std::string& name);
 
 /// Canonical JSON form (round-trips exactly through spec_from_json).
-/// Emits the v1 schema unless a v2 feature is used (non-qubikos family,
-/// non-default max_attempts, vf2_check), so v1 fingerprints are stable.
+/// Emits the lowest schema the spec's features allow — v1 unless a v2
+/// feature is used (non-qubikos family, non-default max_attempts,
+/// vf2_check), v3 only when a tool entry carries options or a custom
+/// label — so every pre-existing fingerprint is stable.
 [[nodiscard]] json::value spec_to_json(const campaign_spec& spec);
-/// Accepts both the v1 and v2 schema.
+/// Accepts the v1, v2 and v3 schemas.
 [[nodiscard]] campaign_spec spec_from_json(const json::value& v);
 
 [[nodiscard]] campaign_spec load_spec(const std::string& path);
@@ -100,9 +144,16 @@ void save_spec(const campaign_spec& spec, const std::string& path);
 /// experiment; the result store refuses to mix fingerprints.
 [[nodiscard]] std::string spec_fingerprint(const campaign_spec& spec);
 
-/// The tool-name column of the plan: spec.tools (validated against the
-/// paper toolbox) or all four when empty; {"exact"} in certify mode.
+/// The tool-label column of the plan: spec.tools' display labels
+/// (validated against the registry — unknown tool names and duplicate
+/// labels throw) or the paper's four when empty; {"exact"} in certify
+/// mode.
 [[nodiscard]] std::vector<std::string> resolved_tool_names(const campaign_spec& spec);
+
+/// The variants behind resolved_tool_names, in the same order (plain
+/// paper entries when spec.tools is empty). Throws in certify mode —
+/// the "exact" pseudo-tool is not a registry tool.
+[[nodiscard]] std::vector<tool_variant> resolved_tool_variants(const campaign_spec& spec);
 
 /// A small 2-architecture example spec (also used by the CI
 /// mini-campaign): aspen4 + grid3x3, swap counts {2,3}, 2 circuits per

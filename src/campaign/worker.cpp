@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 
@@ -16,6 +17,8 @@
 #include "eval/harness.hpp"
 #include "exact/olsq.hpp"
 #include "graph/vf2.hpp"
+#include "tools/context.hpp"
+#include "tools/registry.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,26 +43,60 @@ bool witness_executes(const circuit& logical, const mapping& witness, const grap
     return true;
 }
 
+/// The spec-level knobs as registry overrides for one variant:
+/// sabre_trials feeds lightsabre's trial count and toolbox_seed every
+/// seeded tool — exactly what the pre-registry worker toolbox did — and
+/// the variant's own overrides win on top.
+json::value campaign_tool_overrides(const campaign_spec& spec, const tool_variant& variant) {
+    const tools::tool_info& info = tools::tool_registry_info(variant.name);
+    json::object merged;
+    if (variant.name == "lightsabre" && info.find_option("trials") != nullptr) {
+        merged["trials"] = spec.sabre_trials;
+    }
+    if (info.find_option("seed") != nullptr) {
+        merged["seed"] = static_cast<std::int64_t>(spec.toolbox_seed);
+    }
+    if (variant.has_options()) {
+        for (const auto& [key, value] : variant.options.as_object()) merged[key] = value;
+    }
+    return json::value(std::move(merged));
+}
+
 }  // namespace
 
 struct unit_executor::impl {
     explicit impl(const campaign_spec& s) : spec(s) {
         devices.reserve(spec.suites.size());
         for (const auto& suite : spec.suites) devices.push_back(arch::by_name(suite.arch_name));
-        if (spec.mode == campaign_mode::tools) {
-            eval::toolbox_options toolbox;
-            toolbox.sabre_trials = spec.sabre_trials;
-            toolbox.seed = spec.toolbox_seed;
-            toolbox.sabre.threads = 1;  // suite-level parallelism only
-            tools = eval::paper_toolbox(toolbox);
+        if (spec.mode != campaign_mode::tools) return;
+
+        // One routing context per distinct architecture — every variant
+        // bound to a device shares its distance matrix — and one lineup
+        // per suite (tools are device-bound through their context).
+        std::map<std::string, std::shared_ptr<const tools::routing_context>> contexts;
+        const auto variants = resolved_tool_variants(spec);
+        suite_tools.resize(spec.suites.size());
+        for (std::size_t i = 0; i < spec.suites.size(); ++i) {
+            auto& context = contexts[spec.suites[i].arch_name];
+            if (context == nullptr) {
+                context = tools::make_routing_context(devices[i].coupling);
+            }
+            for (const auto& variant : variants) {
+                eval::tool tool = tools::make_tool(
+                    variant.name, campaign_tool_overrides(spec, variant), context);
+                tool.name = variant.display();
+                suite_tools[i].push_back(std::move(tool));
+            }
         }
     }
 
-    [[nodiscard]] const eval::tool& tool_named(const std::string& name) const {
+    [[nodiscard]] const eval::tool& tool_named(std::size_t suite_index,
+                                               const std::string& label) const {
+        const auto& tools = suite_tools[suite_index];
         const auto it = std::find_if(tools.begin(), tools.end(),
-                                     [&](const eval::tool& t) { return t.name == name; });
+                                     [&](const eval::tool& t) { return t.name == label; });
         if (it == tools.end()) {
-            throw std::logic_error("campaign: plan references unknown tool " + name);
+            throw std::logic_error("campaign: plan references unknown tool " + label);
         }
         return *it;
     }
@@ -85,7 +122,8 @@ struct unit_executor::impl {
             // The exact per-pair primitive of eval::evaluate_suite, so
             // store records and serial harness records agree by
             // construction (it fills tool and designed_swaps itself).
-            run.record = eval::run_tool_record(tool_named(unit.tool), instance, device);
+            run.record =
+                eval::run_tool_record(tool_named(unit.suite_index, unit.tool), instance, device);
             return;
         }
 
@@ -136,7 +174,7 @@ struct unit_executor::impl {
             shim.seed = unit.instance_seed;
             shim.optimal_swaps = 0;
             shim.logical = instance.logical;
-            run.record = eval::run_tool_record(tool_named(unit.tool), shim, device);
+            run.record = eval::run_tool_record(tool_named(unit.suite_index, unit.tool), shim, device);
             return;
         }
 
@@ -184,7 +222,7 @@ struct unit_executor::impl {
             shim.seed = unit.instance_seed;
             shim.optimal_swaps = instance.construction_swaps;
             shim.logical = instance.logical;
-            run.record = eval::run_tool_record(tool_named(unit.tool), shim, device);
+            run.record = eval::run_tool_record(tool_named(unit.suite_index, unit.tool), shim, device);
             return;
         }
 
@@ -222,7 +260,8 @@ struct unit_executor::impl {
 
     campaign_spec spec;
     std::vector<arch::architecture> devices;
-    std::vector<eval::tool> tools;
+    /// Per-suite registry lineups (tools mode only), labels as names.
+    std::vector<std::vector<eval::tool>> suite_tools;
 };
 
 unit_executor::unit_executor(const campaign_spec& spec) : impl_(std::make_unique<impl>(spec)) {}

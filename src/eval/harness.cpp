@@ -2,38 +2,68 @@
 
 #include <stdexcept>
 
+#include "tools/registry.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qubikos::eval {
 
-std::vector<tool> paper_toolbox(const toolbox_options& options) {
-    std::vector<tool> tools;
+namespace {
 
-    router::sabre_options sabre = options.sabre;
-    sabre.trials = options.sabre_trials;
-    sabre.seed = options.seed;
-    tools.push_back({"lightsabre", [sabre](const circuit& c, const graph& g) {
-                         return router::route_sabre(c, g, sabre);
-                     }});
+/// Maps the typed option structs onto the registry schemas, field by
+/// field, so a toolbox_options caller loses nothing by the lineup living
+/// in the registry. `options.seed` feeds every seeded tool, exactly as
+/// the pre-registry lineup did.
+json::value registry_overrides(const std::string& name, const toolbox_options& options) {
+    json::object o;
+    if (name == "lightsabre") {
+        const router::sabre_options& s = options.sabre;
+        o["trials"] = s.trials;
+        o["threads"] = s.threads;
+        o["seed"] = static_cast<std::int64_t>(options.seed);
+        o["extended_set_size"] = s.extended_set_size;
+        o["extended_set_weight"] = s.extended_set_weight;
+        o["decay_increment"] = s.decay_increment;
+        o["decay_reset_interval"] = s.decay_reset_interval;
+        o["lookahead_decay"] = s.lookahead_decay;
+        o["bidirectional"] = s.bidirectional;
+        o["release_valve"] = s.release_valve;
+    } else if (name == "mlqls") {
+        const router::mlqls_options& m = options.mlqls;
+        o["coarsest_size"] = m.coarsest_size;
+        o["refine_sweeps"] = m.refine_sweeps;
+        o["placement_trials"] = m.placement_trials;
+        o["seed"] = static_cast<std::int64_t>(options.seed);
+        o["routing_extended_set_size"] = m.routing.extended_set_size;
+        o["routing_extended_set_weight"] = m.routing.extended_set_weight;
+        o["routing_decay_increment"] = m.routing.decay_increment;
+        o["routing_decay_reset_interval"] = m.routing.decay_reset_interval;
+        o["routing_lookahead_decay"] = m.routing.lookahead_decay;
+        o["routing_release_valve"] = m.routing.release_valve;
+    } else if (name == "qmap") {
+        const router::qmap_options& q = options.qmap;
+        o["node_limit"] = q.node_limit;
+        o["lookahead_weight"] = q.lookahead_weight;
+        o["placement_window"] = q.placement_window;
+    } else if (name == "tket") {
+        const router::tket_options& t = options.tket;
+        o["lookahead_slices"] = t.lookahead_slices;
+        o["slice_discount"] = t.slice_discount;
+        o["stagnation_limit"] = t.stagnation_limit;
+        o["placement_window"] = t.placement_window;
+    }
+    return json::value(std::move(o));
+}
 
-    router::mlqls_options mlqls = options.mlqls;
-    mlqls.seed = options.seed;
-    tools.push_back({"mlqls", [mlqls](const circuit& c, const graph& g) {
-                         return router::route_mlqls(c, g, mlqls);
-                     }});
+}  // namespace
 
-    const router::qmap_options qmap = options.qmap;
-    tools.push_back({"qmap", [qmap](const circuit& c, const graph& g) {
-                         return router::route_qmap(c, g, qmap);
-                     }});
-
-    const router::tket_options tket = options.tket;
-    tools.push_back({"tket", [tket](const circuit& c, const graph& g) {
-                         return router::route_tket(c, g, tket);
-                     }});
-
-    return tools;
+std::vector<tool> paper_toolbox(const toolbox_options& options,
+                                std::shared_ptr<const tools::routing_context> context) {
+    std::vector<tool> lineup;
+    for (const auto& name : tools::paper_tool_names()) {
+        lineup.push_back(tools::make_tool(name, registry_overrides(name, options), context));
+    }
+    return lineup;
 }
 
 run_record run_tool_record(const tool& t, const core::benchmark_instance& instance,

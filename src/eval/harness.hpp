@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,10 @@
 #include "router/sabre.hpp"
 #include "router/tket.hpp"
 
+namespace qubikos::tools {
+class routing_context;  // tools/context.hpp (tools/ sits above eval/)
+}  // namespace qubikos::tools
+
 namespace qubikos::eval {
 
 /// A named QLS tool: circuit + coupling graph -> routed circuit.
@@ -27,19 +32,27 @@ struct tool {
     std::function<routed_circuit(const circuit&, const graph&)> run;
 };
 
-/// The paper's four tools with knobs. `sabre_trials` is the LightSABRE
-/// trial count (1000 in the paper; benches scale it down and say so).
+/// The paper's four tools with knobs. `sabre.trials` is the LightSABRE
+/// trial count — 32 by default here, 1000 in the paper (benches scale it
+/// down and say so). It is the single source of truth for the trial
+/// count: there is deliberately no separate sabre_trials member.
 struct toolbox_options {
-    int sabre_trials = 32;
     std::uint64_t seed = 1;
-    router::sabre_options sabre;
+    router::sabre_options sabre{.trials = 32};
     router::tket_options tket;
     router::qmap_options qmap;
     router::mlqls_options mlqls;
 };
 
-/// Builds the standard four-tool lineup (lightsabre, mlqls, qmap, tket).
-[[nodiscard]] std::vector<tool> paper_toolbox(const toolbox_options& options = {});
+/// Builds the standard four-tool lineup (lightsabre, mlqls, qmap, tket)
+/// by querying the tool registry (tools/registry.hpp) — the lineup,
+/// docs and option schemas live there; this is a convenience wrapper
+/// that maps the option structs onto registry overrides. A non-null
+/// `context` (see tools::make_routing_context) lets every tool share one
+/// precomputed distance matrix for the device it will run on.
+[[nodiscard]] std::vector<tool> paper_toolbox(
+    const toolbox_options& options = {},
+    std::shared_ptr<const tools::routing_context> context = nullptr);
 
 struct evaluation_result {
     std::vector<run_record> records;

@@ -37,4 +37,11 @@ struct mlqls_options {
 [[nodiscard]] routed_circuit route_mlqls(const circuit& logical, const graph& coupling,
                                          const mlqls_options& options = {});
 
+/// Precomputed-distance variant: `dist` must be the APSP matrix of
+/// `coupling` (shared per-device routing contexts amortize it across
+/// calls); results are bit-identical to the owning overload.
+[[nodiscard]] routed_circuit route_mlqls(const circuit& logical, const graph& coupling,
+                                         const distance_matrix& dist,
+                                         const mlqls_options& options = {});
+
 }  // namespace qubikos::router

@@ -207,16 +207,28 @@ std::vector<edge> greedy_layer(const std::vector<std::pair<int, int>>& layer_pai
 routed_circuit route_qmap(const circuit& logical, const graph& coupling,
                           const qmap_options& options, qmap_stats* stats) {
     const distance_matrix dist(coupling);
+    return route_qmap(logical, coupling, dist, options, stats);
+}
+
+routed_circuit route_qmap(const circuit& logical, const graph& coupling,
+                          const distance_matrix& dist, const qmap_options& options,
+                          qmap_stats* stats) {
     return route_qmap_with_initial(
-        logical, coupling, greedy_placement(logical, coupling, dist, options.placement_window),
-        options, stats);
+        logical, coupling, dist,
+        greedy_placement(logical, coupling, dist, options.placement_window), options, stats);
 }
 
 routed_circuit route_qmap_with_initial(const circuit& logical, const graph& coupling,
                                        const mapping& initial, const qmap_options& options,
                                        qmap_stats* stats) {
-    const gate_dag dag(logical);
     const distance_matrix dist(coupling);
+    return route_qmap_with_initial(logical, coupling, dist, initial, options, stats);
+}
+
+routed_circuit route_qmap_with_initial(const circuit& logical, const graph& coupling,
+                                       const distance_matrix& dist, const mapping& initial,
+                                       const qmap_options& options, qmap_stats* stats) {
+    const gate_dag dag(logical);
 
     // Dependency layers (ASAP levels).
     const auto levels = dag.asap_levels();

@@ -225,8 +225,15 @@ struct trial_result {
 routed_circuit route_sabre_with_initial(const circuit& logical, const graph& coupling,
                                         const mapping& initial, const sabre_options& options,
                                         const sabre_observer& observer, sabre_stats* stats) {
-    const gate_dag dag(logical);
     const distance_matrix dist(coupling);
+    return route_sabre_with_initial(logical, coupling, dist, initial, options, observer, stats);
+}
+
+routed_circuit route_sabre_with_initial(const circuit& logical, const graph& coupling,
+                                        const distance_matrix& dist, const mapping& initial,
+                                        const sabre_options& options,
+                                        const sabre_observer& observer, sabre_stats* stats) {
+    const gate_dag dag(logical);
     rng random(options.seed);
 
     emission_buffer emit(logical, dag, coupling.num_vertices());
@@ -248,8 +255,14 @@ routed_circuit route_sabre_with_initial(const circuit& logical, const graph& cou
 
 mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
                             const mapping& initial, const sabre_options& options) {
-    const gate_dag dag(logical);
     const distance_matrix dist(coupling);
+    return sabre_final_mapping(logical, coupling, dist, initial, options);
+}
+
+mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
+                            const distance_matrix& dist, const mapping& initial,
+                            const sabre_options& options) {
+    const gate_dag dag(logical);
     rng random(options.seed);
     return route_pass(dag, coupling, dist, initial, options, random, nullptr, {},
                       nullptr);
@@ -257,12 +270,18 @@ mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
 
 routed_circuit route_sabre(const circuit& logical, const graph& coupling,
                            const sabre_options& options, sabre_stats* stats) {
+    const distance_matrix dist(coupling);
+    return route_sabre(logical, coupling, dist, options, stats);
+}
+
+routed_circuit route_sabre(const circuit& logical, const graph& coupling,
+                           const distance_matrix& dist, const sabre_options& options,
+                           sabre_stats* stats) {
     if (options.trials < 1) throw std::invalid_argument("route_sabre: trials must be >= 1");
     if (options.threads < 0) throw std::invalid_argument("route_sabre: threads must be >= 0");
     const gate_dag dag(logical);
     const circuit reversed_logical = reversed(logical);
     const gate_dag reverse_dag(reversed_logical);
-    const distance_matrix dist(coupling);
 
     // Trials draw from independent salted RNG streams and share only
     // read-only state, so they are embarrassingly parallel: each writes

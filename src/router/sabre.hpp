@@ -89,6 +89,15 @@ struct sabre_stats {
                                          const sabre_options& options = {},
                                          sabre_stats* stats = nullptr);
 
+/// Same flow with a caller-provided all-pairs distance matrix for
+/// `coupling` (must match it). Lets a shared per-device routing context
+/// amortize the APSP construction across calls instead of rebuilding it
+/// per circuit; results are bit-identical to the owning overload.
+[[nodiscard]] routed_circuit route_sabre(const circuit& logical, const graph& coupling,
+                                         const distance_matrix& dist,
+                                         const sabre_options& options = {},
+                                         sabre_stats* stats = nullptr);
+
 /// Routing-only entry point with a caller-fixed initial mapping (no
 /// trials, no bidirectional refinement). This is the standalone-router
 /// evaluation mode Sec. IV-C describes: feed the known-optimal initial
@@ -101,11 +110,25 @@ struct sabre_stats {
                                                       const sabre_observer& observer = {},
                                                       sabre_stats* stats = nullptr);
 
+/// Precomputed-distance variant (see route_sabre above).
+[[nodiscard]] routed_circuit route_sabre_with_initial(const circuit& logical,
+                                                      const graph& coupling,
+                                                      const distance_matrix& dist,
+                                                      const mapping& initial,
+                                                      const sabre_options& options = {},
+                                                      const sabre_observer& observer = {},
+                                                      sabre_stats* stats = nullptr);
+
 /// Mapping-only pass: routes `logical` from `initial` without emitting a
 /// circuit and returns the final mapping. Building block for
 /// forward/backward initial-mapping refinement in other flows (ML-QLS).
 [[nodiscard]] mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
                                           const mapping& initial,
+                                          const sabre_options& options = {});
+
+/// Precomputed-distance variant (see route_sabre above).
+[[nodiscard]] mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
+                                          const distance_matrix& dist, const mapping& initial,
                                           const sabre_options& options = {});
 
 }  // namespace qubikos::router

@@ -42,15 +42,26 @@ std::vector<std::vector<int>> upcoming_slices(const gate_dag& dag, const dag_fro
 routed_circuit route_tket(const circuit& logical, const graph& coupling,
                           const tket_options& options) {
     const distance_matrix dist(coupling);
+    return route_tket(logical, coupling, dist, options);
+}
+
+routed_circuit route_tket(const circuit& logical, const graph& coupling,
+                          const distance_matrix& dist, const tket_options& options) {
     return route_tket_with_initial(
-        logical, coupling, greedy_placement(logical, coupling, dist, options.placement_window),
-        options);
+        logical, coupling, dist,
+        greedy_placement(logical, coupling, dist, options.placement_window), options);
 }
 
 routed_circuit route_tket_with_initial(const circuit& logical, const graph& coupling,
                                        const mapping& initial, const tket_options& options) {
-    const gate_dag dag(logical);
     const distance_matrix dist(coupling);
+    return route_tket_with_initial(logical, coupling, dist, initial, options);
+}
+
+routed_circuit route_tket_with_initial(const circuit& logical, const graph& coupling,
+                                       const distance_matrix& dist, const mapping& initial,
+                                       const tket_options& options) {
+    const gate_dag dag(logical);
 
     mapping current = initial;
     dag_frontier frontier(dag);

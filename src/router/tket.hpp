@@ -13,6 +13,7 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/routed.hpp"
+#include "graph/distance.hpp"
 #include "graph/graph.hpp"
 
 namespace qubikos::router {
@@ -35,10 +36,24 @@ struct tket_options {
 [[nodiscard]] routed_circuit route_tket(const circuit& logical, const graph& coupling,
                                         const tket_options& options = {});
 
+/// Precomputed-distance variant: `dist` must be the APSP matrix of
+/// `coupling` (shared per-device routing contexts amortize it across
+/// calls); results are bit-identical to the owning overload.
+[[nodiscard]] routed_circuit route_tket(const circuit& logical, const graph& coupling,
+                                        const distance_matrix& dist,
+                                        const tket_options& options = {});
+
 /// Routing-only entry point with a caller-fixed initial mapping —
 /// the standalone-router evaluation mode of Sec. IV-C.
 [[nodiscard]] routed_circuit route_tket_with_initial(const circuit& logical,
                                                      const graph& coupling,
+                                                     const mapping& initial,
+                                                     const tket_options& options = {});
+
+/// Precomputed-distance variant (see route_tket above).
+[[nodiscard]] routed_circuit route_tket_with_initial(const circuit& logical,
+                                                     const graph& coupling,
+                                                     const distance_matrix& dist,
                                                      const mapping& initial,
                                                      const tket_options& options = {});
 

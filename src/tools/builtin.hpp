@@ -1,0 +1,16 @@
+// Builtin tool registration hooks.
+//
+// One function per router, each defined in its own registration unit
+// (src/tools/builtin_<router>.cpp). The registry calls them lazily on
+// first access — explicit pull instead of static-initializer push, which
+// a static library's linker would drop for unreferenced objects.
+#pragma once
+
+namespace qubikos::tools::detail {
+
+void register_builtin_lightsabre();
+void register_builtin_mlqls();
+void register_builtin_qmap();
+void register_builtin_tket();
+
+}  // namespace qubikos::tools::detail

@@ -1,0 +1,16 @@
+#include "tools/context.hpp"
+
+namespace qubikos::tools {
+
+routing_context::routing_context(const graph& coupling)
+    : coupling_(coupling), dist_(coupling) {}
+
+bool routing_context::matches(const graph& g) const {
+    return g.num_vertices() == coupling_.num_vertices() && g.edges() == coupling_.edges();
+}
+
+std::shared_ptr<const routing_context> make_routing_context(const graph& coupling) {
+    return std::make_shared<const routing_context>(coupling);
+}
+
+}  // namespace qubikos::tools

@@ -1,0 +1,44 @@
+// Shared per-device routing context.
+//
+// Every heuristic router needs the all-pairs shortest-path matrix of the
+// coupling graph; historically each routing call rebuilt it from scratch
+// (O(V*(V+E)) per circuit — measurable against small circuits, pure
+// waste in a (tool x instance) grid that routes hundreds of circuits on
+// one device). A routing_context computes it once per device; every
+// registry-made tool bound to the context reuses it, and falls back to a
+// local computation when handed a different graph, so sharing is purely
+// an optimization — results are bit-identical either way.
+#pragma once
+
+#include <memory>
+
+#include "graph/distance.hpp"
+#include "graph/graph.hpp"
+
+namespace qubikos::tools {
+
+/// Immutable per-device precomputations shared by registry tools. Owns a
+/// copy of the coupling graph so the context never dangles.
+class routing_context {
+public:
+    explicit routing_context(const graph& coupling);
+
+    [[nodiscard]] const graph& coupling() const { return coupling_; }
+    [[nodiscard]] const distance_matrix& distances() const { return dist_; }
+
+    /// True when `g` is the graph this context was built from (vertex
+    /// count and edge list compared — O(E), negligible next to routing).
+    /// A logically-equal graph with a different edge insertion order
+    /// reports false; the tool then computes its own matrix, trading the
+    /// speedup for guaranteed correctness.
+    [[nodiscard]] bool matches(const graph& g) const;
+
+private:
+    graph coupling_;
+    distance_matrix dist_;
+};
+
+/// Convenience: the shared_ptr form every tool factory consumes.
+[[nodiscard]] std::shared_ptr<const routing_context> make_routing_context(const graph& coupling);
+
+}  // namespace qubikos::tools

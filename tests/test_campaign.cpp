@@ -227,7 +227,7 @@ TEST(campaign_merge, sharded_interrupted_run_equals_serial_evaluate_suite) {
     const auto device = arch::by_name(spec.suites[0].arch_name);
     const auto s = core::generate_suite(device, spec.suites[0]);
     eval::toolbox_options toolbox;
-    toolbox.sabre_trials = spec.sabre_trials;
+    toolbox.sabre.trials = spec.sabre_trials;
     toolbox.seed = spec.toolbox_seed;
     const auto serial = eval::evaluate_suite(s, device, eval::paper_toolbox(toolbox));
 
@@ -408,6 +408,102 @@ TEST(campaign_spec, v2_family_spec_round_trips) {
     EXPECT_EQ(restored.suites[1].quekno_gates_per_epoch, 4);
     EXPECT_EQ(restored.max_attempts, 3);
     EXPECT_TRUE(restored.vf2_check);
+}
+
+TEST(campaign_spec, v3_tool_variants_round_trip_and_plain_specs_keep_v1_bytes) {
+    // Plain-name tool lists — the entire pre-v3 world — must keep their
+    // schema and canonical bytes, or every store fingerprint breaks.
+    auto plain = campaign::example_spec();
+    plain.tools = {"lightsabre", "tket"};
+    EXPECT_EQ(campaign::spec_to_json(plain).at("schema").as_string(),
+              "qubikos.campaign_spec.v1");
+    const auto plain_restored = campaign::spec_from_json(campaign::spec_to_json(plain));
+    EXPECT_EQ(campaign::spec_to_json(plain_restored).dump(),
+              campaign::spec_to_json(plain).dump());
+    EXPECT_EQ(campaign::spec_fingerprint(plain_restored), campaign::spec_fingerprint(plain));
+
+    // One option-carrying variant flips the spec (and only then) to v3.
+    auto v3 = plain;
+    v3.tools.emplace_back("sabre", json::value(json::object{{"lookahead_decay", 0.5}}),
+                          "sabre-decay");
+    const auto v3_json = campaign::spec_to_json(v3);
+    EXPECT_EQ(v3_json.at("schema").as_string(), "qubikos.campaign_spec.v3");
+    EXPECT_NE(campaign::spec_fingerprint(v3), campaign::spec_fingerprint(plain));
+
+    const auto restored = campaign::spec_from_json(v3_json);
+    EXPECT_EQ(campaign::spec_to_json(restored).dump(), v3_json.dump());
+    EXPECT_EQ(campaign::spec_fingerprint(restored), campaign::spec_fingerprint(v3));
+    ASSERT_EQ(restored.tools.size(), 3u);
+    EXPECT_TRUE(restored.tools[0].plain());
+    EXPECT_EQ(restored.tools[2].name, "sabre");
+    EXPECT_EQ(restored.tools[2].display(), "sabre-decay");
+    EXPECT_DOUBLE_EQ(restored.tools[2].options.at("lookahead_decay").as_number(), 0.5);
+
+    // Labels become the tool column; names are validated in the registry.
+    EXPECT_EQ(campaign::resolved_tool_names(v3),
+              (std::vector<std::string>{"lightsabre", "tket", "sabre-decay"}));
+    auto unknown = plain;
+    unknown.tools = {"olsq"};
+    EXPECT_THROW((void)campaign::resolved_tool_names(unknown), std::invalid_argument);
+    EXPECT_THROW((void)campaign::expand_plan(unknown), std::invalid_argument);
+    auto bad_option = plain;
+    bad_option.tools = {campaign::tool_variant(
+        "lightsabre", json::value(json::object{{"trails", 8}}), "typo")};
+    EXPECT_THROW((void)campaign::resolved_tool_names(bad_option), std::invalid_argument);
+    auto duplicate = plain;
+    duplicate.tools = {"lightsabre", "lightsabre"};
+    EXPECT_THROW((void)campaign::resolved_tool_names(duplicate), std::invalid_argument);
+}
+
+TEST(campaign_merge, v3_variant_campaign_runs_and_reports_under_labels) {
+    // Two variants of one tool in one campaign: the label (not the
+    // registry name) flows through unit IDs, stored records and report
+    // tables, and each variant honors its own overrides.
+    campaign::campaign_spec spec;
+    spec.name = "variant_test";
+    spec.sabre_trials = 3;  // spec-level default for plain lightsabre
+    spec.tools = {"lightsabre",
+                  campaign::tool_variant("lightsabre",
+                                         json::value(json::object{{"trials", 1}}), "ls1")};
+    core::suite_spec suite;
+    suite.arch_name = "grid3x3";
+    suite.swap_counts = {2};
+    suite.circuits_per_count = 2;
+    suite.total_two_qubit_gates = 25;
+    suite.base_seed = 5;
+    spec.suites.push_back(suite);
+
+    const auto plan = campaign::expand_plan(spec);
+    ASSERT_EQ(plan.units.size(), 4u);
+    EXPECT_EQ(plan.units[0].id, "u0:grid3x3:n2:i0:seed5:lightsabre");
+    EXPECT_EQ(plan.units[1].id, "u0:grid3x3:n2:i0:seed5:ls1");
+
+    const std::string dir = scratch_dir("v3_variants");
+    const auto report = campaign::run_campaign_shard(plan, dir, {});
+    EXPECT_EQ(report.failed_attempts, 0u);
+    EXPECT_EQ(report.invalid_runs, 0);
+    const auto merged = campaign::merge_stores(plan, {dir});
+    ASSERT_TRUE(merged.complete());
+
+    // The stored records reproduce direct router calls with the variant's
+    // effective options (spec defaults for the plain entry, the override
+    // for ls1).
+    const auto device = arch::by_name("grid3x3");
+    const auto s = core::generate_suite(device, suite);
+    for (std::size_t i = 0; i < merged.runs.size(); ++i) {
+        const auto& run = merged.runs[i];
+        const auto& unit = plan.units[i];
+        router::sabre_options options;
+        options.trials = unit.tool == "ls1" ? 1 : spec.sabre_trials;
+        options.seed = spec.toolbox_seed;
+        const auto direct = router::route_sabre(s.instances[unit.instance_index].logical,
+                                                device.coupling, options);
+        EXPECT_EQ(run.record.tool, unit.tool);
+        EXPECT_EQ(run.record.measured_swaps, direct.swap_count()) << unit.id;
+    }
+
+    const auto rendered = campaign::render_report(plan, merged);
+    EXPECT_NE(rendered.find("ls1"), std::string::npos);
 }
 
 TEST(campaign_plan, family_units_get_tagged_ids_and_claimed_counts) {

@@ -72,7 +72,7 @@ TEST(harness, evaluates_suite_end_to_end) {
     ASSERT_EQ(s.instances.size(), 4u);
 
     eval::toolbox_options toolbox;
-    toolbox.sabre_trials = 4;
+    toolbox.sabre.trials = 4;
     const auto tools = eval::paper_toolbox(toolbox);
     ASSERT_EQ(tools.size(), 4u);
 

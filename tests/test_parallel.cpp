@@ -179,7 +179,7 @@ TEST(parallel_eval, records_match_serial_order_and_values) {
     const auto s = core::generate_suite(device, spec);
 
     eval::toolbox_options toolbox;
-    toolbox.sabre_trials = 2;
+    toolbox.sabre.trials = 2;
     toolbox.sabre.threads = 1;  // parallelism lives at the suite level here
     const auto tools = eval::paper_toolbox(toolbox);
 

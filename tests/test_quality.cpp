@@ -132,7 +132,7 @@ TEST(quality, exact_witness_is_never_beaten_by_heuristics) {
             router::route_sabre(instance.logical, device.coupling, sabre),
             router::route_tket(instance.logical, device.coupling),
             router::route_qmap(instance.logical, device.coupling),
-            router::route_mlqls(instance.logical, device.coupling, {}),
+            router::route_mlqls(instance.logical, device.coupling, router::mlqls_options{}),
         };
         for (const auto& routed : tools) {
             EXPECT_GE(routed.swap_count(), static_cast<std::size_t>(instance.optimal_swaps));

@@ -56,7 +56,7 @@ TEST_P(all_routers, produce_valid_routings) {
         std::pair{"sabre", router::route_sabre(logical, device.coupling, sabre)},
         std::pair{"tket", router::route_tket(logical, device.coupling)},
         std::pair{"qmap", router::route_qmap(logical, device.coupling)},
-        std::pair{"mlqls", router::route_mlqls(logical, device.coupling, {})},
+        std::pair{"mlqls", router::route_mlqls(logical, device.coupling, router::mlqls_options{})},
     };
     for (const auto& [name, routed] : results) {
         const auto report = validate_routed(logical, routed, device.coupling);
@@ -180,7 +180,7 @@ TEST(routers, empty_and_single_qubit_circuits) {
         EXPECT_TRUE(validate_routed(logical, tket, device.coupling).valid);
         const auto qmap = router::route_qmap(logical, device.coupling);
         EXPECT_TRUE(validate_routed(logical, qmap, device.coupling).valid);
-        const auto mlqls = router::route_mlqls(logical, device.coupling, {});
+        const auto mlqls = router::route_mlqls(logical, device.coupling, router::mlqls_options{});
         EXPECT_TRUE(validate_routed(logical, mlqls, device.coupling).valid);
     }
 }

@@ -1,0 +1,249 @@
+// Tool-registry tests: the self-describing tool catalog every consumer
+// (harness, campaign, CLI, benches) selects tools from.
+//
+// The load-bearing guarantees:
+//   - misuse is loud: unknown tool names, unknown option keys and
+//     ill-typed option values throw instead of silently running defaults;
+//   - the default registry lineup reproduces the pre-registry routers
+//     knob for knob (pinned against direct router calls);
+//   - a shared routing context is purely an optimization — bound or
+//     not, matching device or not, results are identical.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "arch/architectures.hpp"
+#include "core/qubikos.hpp"
+#include "core/verifier.hpp"
+#include "eval/harness.hpp"
+#include "router/mlqls.hpp"
+#include "router/qmap.hpp"
+#include "router/sabre.hpp"
+#include "router/tket.hpp"
+#include "tools/context.hpp"
+#include "tools/registry.hpp"
+
+namespace qubikos {
+namespace {
+
+core::benchmark_instance aspen_instance(int swaps, std::uint64_t seed) {
+    core::generator_options options;
+    options.num_swaps = swaps;
+    options.total_two_qubit_gates = 60;
+    options.seed = seed;
+    return core::generate(arch::aspen4(), options);
+}
+
+/// Two routed circuits are the same result for our purposes when their
+/// swap counts, initial mappings and physical gate streams agree.
+void expect_same_routing(const routed_circuit& a, const routed_circuit& b) {
+    EXPECT_EQ(a.swap_count(), b.swap_count());
+    EXPECT_EQ(a.initial.program_to_physical(), b.initial.program_to_physical());
+    ASSERT_EQ(a.physical.size(), b.physical.size());
+    for (std::size_t i = 0; i < a.physical.size(); ++i) {
+        EXPECT_EQ(a.physical[i].kind, b.physical[i].kind) << i;
+        EXPECT_EQ(a.physical[i].q0, b.physical[i].q0) << i;
+        EXPECT_EQ(a.physical[i].q1, b.physical[i].q1) << i;
+    }
+}
+
+TEST(tools_registry, paper_tools_and_ablation_variant_are_registered) {
+    for (const auto& name : tools::paper_tool_names()) {
+        EXPECT_TRUE(tools::is_registered_tool(name)) << name;
+    }
+    EXPECT_TRUE(tools::is_registered_tool("sabre"));  // the ablation variant
+    EXPECT_FALSE(tools::is_registered_tool("olsq"));
+
+    // Every registered tool is self-describing: a doc line and a typed
+    // schema whose defaults match their declared kinds (register_tool
+    // enforces the latter; spot-check the surface here).
+    for (const auto& name : tools::registered_tool_names()) {
+        const auto& info = tools::tool_registry_info(name);
+        EXPECT_FALSE(info.doc.empty()) << name;
+        EXPECT_FALSE(info.options.empty()) << name;
+    }
+}
+
+TEST(tools_registry, unknown_tool_name_is_a_loud_error) {
+    EXPECT_THROW((void)tools::tool_registry_info("lightsaber"), std::invalid_argument);
+    EXPECT_THROW((void)tools::make_tool("lightsaber"), std::invalid_argument);
+    EXPECT_THROW((void)tools::parse_tool_spec("lightsaber:trials=8"), std::invalid_argument);
+    // The message names the known lineup, so a typo is self-correcting.
+    try {
+        (void)tools::make_tool("lightsaber");
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("lightsabre"), std::string::npos);
+    }
+}
+
+TEST(tools_registry, unknown_and_ill_typed_options_are_loud_errors) {
+    // Unknown key: never a silent default.
+    EXPECT_THROW((void)tools::make_tool("lightsabre", json::object{{"trails", 8}}),
+                 std::invalid_argument);
+    // Ill-typed values: bool where a number is expected and vice versa,
+    // and a fractional value for an integer option.
+    EXPECT_THROW((void)tools::make_tool("lightsabre", json::object{{"trials", true}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)tools::make_tool("lightsabre", json::object{{"bidirectional", 1}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)tools::make_tool("lightsabre", json::object{{"trials", 1.5}}),
+                 std::invalid_argument);
+    // Options must be an object (or null), not a bare value.
+    EXPECT_THROW((void)tools::make_tool("lightsabre", json::value(3)), std::invalid_argument);
+    // A real option accepts an integral number.
+    EXPECT_NO_THROW((void)tools::make_tool("sabre", json::object{{"lookahead_decay", 1}}));
+    // Out-of-range numerics are rejected before any factory cast can
+    // mangle them: negatives for non-negative knobs, and integers past
+    // the int32 cap (seeds are widened to 2^53 and accept more).
+    EXPECT_THROW((void)tools::make_tool("qmap", json::object{{"node_limit", -1}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)tools::make_tool("sabre", json::object{{"lookahead_decay", -0.5}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)tools::make_tool("lightsabre", json::object{{"trials", 3e9}}),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(
+        (void)tools::make_tool("lightsabre", json::object{{"seed", 4294967296.0}}));
+}
+
+TEST(tools_registry, default_lineup_reproduces_direct_router_calls) {
+    // The regression pin for the paper_toolbox refactor: the registry
+    // defaults (and eval::paper_toolbox's mapping onto them) must equal
+    // the pre-registry hardcoded lineup knob for knob.
+    const auto instance = aspen_instance(5, 42);
+    const auto device = arch::aspen4();
+    const auto lineup = eval::paper_toolbox();
+    ASSERT_EQ(lineup.size(), 4u);
+    EXPECT_EQ(lineup[0].name, "lightsabre");
+    EXPECT_EQ(lineup[1].name, "mlqls");
+    EXPECT_EQ(lineup[2].name, "qmap");
+    EXPECT_EQ(lineup[3].name, "tket");
+
+    router::sabre_options sabre;
+    sabre.trials = 32;  // the documented toolbox default
+    expect_same_routing(lineup[0].run(instance.logical, device.coupling),
+                        router::route_sabre(instance.logical, device.coupling, sabre));
+    expect_same_routing(
+        lineup[1].run(instance.logical, device.coupling),
+        router::route_mlqls(instance.logical, device.coupling, router::mlqls_options{}));
+    expect_same_routing(lineup[2].run(instance.logical, device.coupling),
+                        router::route_qmap(instance.logical, device.coupling));
+    expect_same_routing(lineup[3].run(instance.logical, device.coupling),
+                        router::route_tket(instance.logical, device.coupling));
+}
+
+TEST(tools_registry, option_overrides_reach_the_router) {
+    const auto instance = aspen_instance(5, 7);
+    const auto device = arch::aspen4();
+    const auto tool = tools::make_tool(
+        "sabre", json::object{{"trials", 5}, {"seed", 9}, {"lookahead_decay", 0.5}});
+    router::sabre_options expected;
+    expected.trials = 5;
+    expected.seed = 9;
+    expected.lookahead_decay = 0.5;
+    expect_same_routing(tool.run(instance.logical, device.coupling),
+                        router::route_sabre(instance.logical, device.coupling, expected));
+}
+
+TEST(tools_registry, shared_context_changes_nothing_but_work) {
+    const auto instance = aspen_instance(5, 11);
+    const auto device = arch::aspen4();
+    const auto context = tools::make_routing_context(device.coupling);
+    ASSERT_TRUE(context->matches(device.coupling));
+
+    for (const auto& name : tools::registered_tool_names()) {
+        const auto bound = tools::make_tool(name, {}, context);
+        const auto unbound = tools::make_tool(name);
+        expect_same_routing(bound.run(instance.logical, device.coupling),
+                            unbound.run(instance.logical, device.coupling));
+    }
+
+    // A tool bound to the *wrong* device falls back to computing its own
+    // distances — the context is an optimization, never a correctness
+    // hazard.
+    const auto grid = arch::by_name("grid3x3");
+    const auto grid_instance = [] {
+        core::generator_options options;
+        options.num_swaps = 2;
+        options.total_two_qubit_gates = 20;
+        options.seed = 3;
+        return core::generate(arch::by_name("grid3x3"), options);
+    }();
+    EXPECT_FALSE(context->matches(grid.coupling));
+    const auto misbound = tools::make_tool("tket", {}, context);
+    const auto routed = misbound.run(grid_instance.logical, grid.coupling);
+    expect_same_routing(routed, router::route_tket(grid_instance.logical, grid.coupling));
+    EXPECT_TRUE(validate_routed(grid_instance.logical, routed, grid.coupling).valid);
+}
+
+TEST(tools_registry, parse_tool_spec_round_trips_and_rejects_garbage) {
+    const auto plain = tools::parse_tool_spec("tket");
+    EXPECT_EQ(plain.name, "tket");
+    EXPECT_TRUE(plain.options.is_null());
+    EXPECT_EQ(plain.canonical(), "tket");
+
+    const auto variant = tools::parse_tool_spec("sabre:trials=8,lookahead_decay=0.5");
+    EXPECT_EQ(variant.name, "sabre");
+    EXPECT_EQ(variant.options.at("trials").as_int(), 8);
+    EXPECT_DOUBLE_EQ(variant.options.at("lookahead_decay").as_number(), 0.5);
+    // Canonical form sorts keys (json objects are ordered maps).
+    EXPECT_EQ(variant.canonical(), "sabre:lookahead_decay=0.5,trials=8");
+
+    const auto flag = tools::parse_tool_spec("lightsabre:bidirectional=false");
+    EXPECT_FALSE(flag.options.at("bidirectional").as_bool());
+
+    EXPECT_THROW((void)tools::parse_tool_spec("sabre:trials"), std::invalid_argument);
+    EXPECT_THROW((void)tools::parse_tool_spec("sabre:=8"), std::invalid_argument);
+    EXPECT_THROW((void)tools::parse_tool_spec("sabre:trials=two"), std::invalid_argument);
+    EXPECT_THROW((void)tools::parse_tool_spec("sabre:bidirectional=maybe"),
+                 std::invalid_argument);
+    EXPECT_THROW((void)tools::parse_tool_spec("sabre:unknown_knob=1"), std::invalid_argument);
+    // A repeated key is a typo, not a last-one-wins silent override.
+    EXPECT_THROW((void)tools::parse_tool_spec("sabre:trials=100,trials=1"),
+                 std::invalid_argument);
+}
+
+TEST(tools_registry, describe_output_snapshot) {
+    // `qubikos_cli tools describe` is part of the workflow (specs and
+    // --tool selectors are written against it), so its shape is pinned.
+    EXPECT_EQ(
+        tools::describe_tool("qmap"),
+        "tool qmap: layered A* swap search with greedy fallback (QMAP, Zulehner/Wille)\n"
+        "| option           | type | default | doc                                         "
+        "                           |\n"
+        "|------------------|------|---------|---------------------------------------------"
+        "---------------------------|\n"
+        "| node_limit       | int  | 20000   | A* node budget per layer before falling back"
+        " to greedy routing         |\n"
+        "| lookahead_weight | real | 0.75    | weight of the next-layer lookahead term (0 "
+        "disables it)                |\n"
+        "| placement_window | int  | 25      | leading two-qubit gates the initial placemen"
+        "t sees (0 = whole circuit) |\n");
+
+    const std::string table = tools::render_tool_table();
+    for (const auto& name : tools::registered_tool_names()) {
+        EXPECT_NE(table.find(name), std::string::npos) << name;
+    }
+}
+
+TEST(tools_registry, register_tool_rejects_duplicates_and_bad_schemas) {
+    EXPECT_THROW(tools::register_tool({"tket", "dup", {}},
+                                      [](const json::value&,
+                                         std::shared_ptr<const tools::routing_context>) {
+                                          return eval::tool{};
+                                      }),
+                 std::invalid_argument);
+    // A default that contradicts its declared kind is rejected up front.
+    tools::tool_info bad;
+    bad.name = "bad_schema_tool";
+    bad.options = {{"knob", tools::option_kind::boolean, json::value(3), "doc"}};
+    EXPECT_THROW(tools::register_tool(std::move(bad),
+                                      [](const json::value&,
+                                         std::shared_ptr<const tools::routing_context>) {
+                                          return eval::tool{};
+                                      }),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qubikos
