@@ -7,13 +7,24 @@ Usage:
 
 Compares the tracked single-threaded sections of bench_micro's timed
 output (distance_matrix per architecture, candidate_swaps per-call,
-route_pass, and the routing_context shared-distance-matrix path) and
-fails — exit code 1 — when any section regressed by more than
---max-regression (default 25%, overridable with the
-QUBIKOS_BENCH_GATE_PCT env var, e.g. QUBIKOS_BENCH_GATE_PCT=40).
+route_pass, the routing_context shared-distance-matrix path, and the
+pool_dispatch overhead) and fails — exit code 1 — when any section
+regressed by more than --max-regression (default 25%, overridable with
+the QUBIKOS_BENCH_GATE_PCT env var, e.g. QUBIKOS_BENCH_GATE_PCT=40).
 
-route_sabre_trials is deliberately untracked: its multi-threaded timings
-scale with the runner's core count, not with the code.
+On top of the relative comparisons, three absolute properties of the
+*current* run are enforced:
+
+  - route_sabre_trials: when the run's thread_scaling_valid flag is true
+    (>= 2 live pool workers), the 2-thread trial loop must be at least
+    1.5x faster than serial. Runs on 1-core machines carry
+    thread_scaling_valid=false and are exempt — a threaded speedup
+    cannot be measured there, and pretending otherwise would gate on
+    noise.
+  - sabre_portfolio: quality parity with the plain 32-trial run, using
+    at most 60% of its trial-pass work.
+  - trial_arena: marginal heap allocations per extra trial within the
+    recorded threshold (steady-state trials must reuse their arena).
 
 Sections faster than --min-seconds in the baseline are reported but never
 gated: at that duration the comparison measures scheduler noise. A large
@@ -44,6 +55,48 @@ def tracked_sections(doc):
         # Gate the shared-context path (the registry tools' hot path);
         # the rebuild timing is informational — it measures the fallback.
         yield "routing_context/" + rc["arch"], float(rc["seconds_shared"])
+    pd = doc.get("pool_dispatch")
+    if pd is not None:
+        yield "pool_dispatch", float(pd["seconds_per_dispatch"])
+
+
+MIN_THREAD_SPEEDUP = 1.5
+MAX_PORTFOLIO_WORK_RATIO = 0.6
+
+
+def absolute_checks(doc):
+    """Yield (name, ok, detail) for the current run's absolute gates."""
+    trials = doc.get("route_sabre_trials")
+    # Pre-v2 documents stored a bare entry list with no validity flag.
+    if isinstance(trials, dict):
+        if trials.get("thread_scaling_valid"):
+            two = [e for e in trials.get("entries", []) if e.get("threads") == 2]
+            if two:
+                speedup = float(two[0]["speedup_vs_serial"])
+                yield ("route_sabre_trials 2-thread speedup",
+                       speedup >= MIN_THREAD_SPEEDUP,
+                       f"{speedup:.2f}x (floor {MIN_THREAD_SPEEDUP}x)")
+            else:
+                yield ("route_sabre_trials 2-thread speedup", False,
+                       "no 2-thread entry in a thread_scaling_valid run")
+        else:
+            yield ("route_sabre_trials 2-thread speedup", True,
+                   "skipped: thread_scaling_valid=false "
+                   f"({trials.get('max_workers', '?')} worker(s))")
+    pf = doc.get("sabre_portfolio")
+    if pf is not None:
+        parity = bool(pf["parity"])
+        ratio = float(pf["work_ratio"])
+        yield ("sabre_portfolio quality parity", parity,
+               f"{pf['portfolio_best_swaps']} vs {pf['plain_best_swaps']} swaps")
+        yield ("sabre_portfolio work ratio", ratio <= MAX_PORTFOLIO_WORK_RATIO,
+               f"{ratio:.2f} (ceiling {MAX_PORTFOLIO_WORK_RATIO})")
+    ta = doc.get("trial_arena")
+    if ta is not None:
+        per_trial = float(ta["allocs_per_extra_trial"])
+        limit = float(ta["threshold"])
+        yield ("trial_arena allocs per extra trial", per_trial <= limit,
+               f"{per_trial:.2f} (limit {limit:.0f})")
 
 
 def default_max_regression():
@@ -64,8 +117,8 @@ def load(path):
             doc = json.load(f)
     except (OSError, ValueError) as err:
         sys.exit(f"error: cannot load {path}: {err}")
-    if doc.get("schema") != "qubikos.bench_micro.v1":
-        print(f"error: {path} is not a qubikos.bench_micro.v1 document", file=sys.stderr)
+    if doc.get("schema") not in ("qubikos.bench_micro.v1", "qubikos.bench_micro.v2"):
+        print(f"error: {path} is not a qubikos.bench_micro document", file=sys.stderr)
         sys.exit(2)
     return doc
 
@@ -121,9 +174,16 @@ def main():
     for key in sorted(set(cur) - set(base)):
         print(f"  {key:<{width}}  (new section, not in baseline — not gated)")
 
-    if regressions:
-        names = ", ".join(f"{k} ({r:.2f}x)" for k, r in regressions)
-        print(f"FAIL: {len(regressions)} tracked section(s) regressed: {names}",
+    failed_absolute = []
+    for name, ok, detail in absolute_checks(load(args.current)):
+        mark = "ok" if ok else "FAIL"
+        print(f"  [{mark}] {name}: {detail}")
+        if not ok:
+            failed_absolute.append(name)
+
+    if regressions or failed_absolute:
+        parts = [f"{k} ({r:.2f}x)" for k, r in regressions] + failed_absolute
+        print(f"FAIL: {len(parts)} gate check(s) failed: {', '.join(parts)}",
               file=sys.stderr)
         sys.exit(1)
     print("OK: no tracked section regressed past the gate")

@@ -380,9 +380,9 @@ worker_report run_campaign_shard(const campaign_plan& plan, const std::string& s
     if (queue.empty()) return report;
 
     const unit_executor executor(plan.spec);
-    thread_pool pool(
+    const std::size_t workers =
         std::min(thread_pool::resolve_threads(static_cast<std::size_t>(options.threads)),
-                 std::min(options.batch_size, queue.size())));
+                 std::min(options.batch_size, queue.size()));
 
     std::vector<pending_unit> batch;
     std::vector<stored_run> results;
@@ -397,7 +397,8 @@ worker_report run_campaign_shard(const campaign_plan& plan, const std::string& s
         results.assign(width, {});
         // execute_captured never throws, so one poisoned unit cannot
         // abort the parallel batch (or the shard).
-        pool.parallel_for(0, width, [&](std::size_t i) {
+        thread_pool::shared().parallel_for_slots(0, width, workers, [&](std::size_t i,
+                                                                       std::size_t) {
             results[i] =
                 executor.execute_captured(plan.units[batch[i].unit_index], batch[i].attempts + 1);
         });

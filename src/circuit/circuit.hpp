@@ -25,6 +25,10 @@ public:
     /// Appends every gate of `other` (qubit counts must not shrink).
     void extend(const circuit& other);
 
+    /// Removes every gate, keeping the qubit count and the gate storage
+    /// capacity — the reuse hook of per-trial emission arenas.
+    void clear_gates() { gates_.clear(); }
+
     [[nodiscard]] std::size_t num_two_qubit_gates() const;
     [[nodiscard]] std::size_t num_swap_gates() const;
     [[nodiscard]] std::size_t num_single_qubit_gates() const;

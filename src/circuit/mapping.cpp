@@ -21,15 +21,29 @@ mapping mapping::identity(int num_program, int num_physical) {
 }
 
 mapping mapping::random(int num_program, int num_physical, rng& random) {
-    mapping m(num_program, num_physical);
-    const auto perm = random.permutation(num_physical);
-    m.p2q_.assign(static_cast<std::size_t>(num_physical), -1);
-    for (int q = 0; q < num_program; ++q) {
-        const int p = perm[static_cast<std::size_t>(q)];
-        m.q2p_[static_cast<std::size_t>(q)] = p;
-        m.p2q_[static_cast<std::size_t>(p)] = q;
-    }
+    mapping m;
+    std::vector<int> perm;
+    random_into(m, num_program, num_physical, random, perm);
     return m;
+}
+
+void mapping::random_into(mapping& out, int num_program, int num_physical, rng& random,
+                          std::vector<int>& perm_scratch) {
+    if (num_program < 0 || num_physical < 0 || num_program > num_physical) {
+        throw std::invalid_argument("mapping: need 0 <= num_program <= num_physical");
+    }
+    // Identical draws to rng::permutation: iota then a full Fisher-Yates
+    // shuffle, regardless of how many leading entries are consumed.
+    perm_scratch.resize(static_cast<std::size_t>(num_physical));
+    for (int i = 0; i < num_physical; ++i) perm_scratch[static_cast<std::size_t>(i)] = i;
+    random.shuffle(perm_scratch);
+    out.q2p_.resize(static_cast<std::size_t>(num_program));
+    out.p2q_.assign(static_cast<std::size_t>(num_physical), -1);
+    for (int q = 0; q < num_program; ++q) {
+        const int p = perm_scratch[static_cast<std::size_t>(q)];
+        out.q2p_[static_cast<std::size_t>(q)] = p;
+        out.p2q_[static_cast<std::size_t>(p)] = q;
+    }
 }
 
 mapping mapping::from_program_to_physical(const std::vector<int>& q2p, int num_physical) {

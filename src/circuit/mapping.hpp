@@ -20,6 +20,12 @@ public:
 
     [[nodiscard]] static mapping identity(int num_program, int num_physical);
     [[nodiscard]] static mapping random(int num_program, int num_physical, rng& random);
+    /// random() rewritten onto caller storage: fills `out` in place and
+    /// uses `perm_scratch` for the permutation draw, so steady-state
+    /// trial loops allocate nothing. Consumes exactly the same rng
+    /// stream as random() and produces the identical mapping.
+    static void random_into(mapping& out, int num_program, int num_physical, rng& random,
+                            std::vector<int>& perm_scratch);
     /// Builds from an explicit program->physical array; validates
     /// injectivity and range.
     [[nodiscard]] static mapping from_program_to_physical(const std::vector<int>& q2p,

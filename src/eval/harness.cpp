@@ -28,6 +28,12 @@ json::value registry_overrides(const std::string& name, const toolbox_options& o
         o["lookahead_decay"] = s.lookahead_decay;
         o["bidirectional"] = s.bidirectional;
         o["release_valve"] = s.release_valve;
+        o["portfolio"] = s.portfolio;
+        o["portfolio.wave"] = s.portfolio_wave;
+        o["portfolio.budget_base"] = s.portfolio_budget_base;
+        o["portfolio.budget_growth"] = s.portfolio_budget_growth;
+        o["portfolio.patience"] = s.portfolio_patience;
+        o["portfolio.target_swaps"] = s.portfolio_target_swaps;
     } else if (name == "mlqls") {
         const router::mlqls_options& m = options.mlqls;
         o["coarsest_size"] = m.coarsest_size;
@@ -98,12 +104,14 @@ evaluation_result evaluate_suite(const core::suite& s, const arch::architecture&
     // records come out identical to the serial loop regardless of
     // scheduling.
     result.records.resize(num_pairs);
-    thread_pool pool(std::min(
-        thread_pool::resolve_threads(static_cast<std::size_t>(threads)), num_pairs));
-    pool.parallel_for(0, num_pairs, [&](std::size_t pair) {
-        result.records[pair] =
-            run_tool_record(tools[pair % num_tools], s.instances[pair / num_tools], device);
-    });
+    const std::size_t width =
+        std::min(thread_pool::resolve_threads(static_cast<std::size_t>(threads)), num_pairs);
+    thread_pool::shared().parallel_for_slots(
+        0, num_pairs, width,
+        [&](std::size_t pair, std::size_t) {
+            result.records[pair] =
+                run_tool_record(tools[pair % num_tools], s.instances[pair / num_tools], device);
+        });
 
     for (const auto& record : result.records) {
         if (!record.valid) ++result.invalid_runs;

@@ -1,7 +1,6 @@
 #include "router/common.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <stdexcept>
 
 #include "graph/bfs.hpp"
@@ -10,7 +9,12 @@ namespace qubikos::router {
 
 // --- dag_frontier ----------------------------------------------------------
 
-dag_frontier::dag_frontier(const gate_dag& dag) : dag_(&dag) {
+dag_frontier::dag_frontier(const gate_dag& dag) { reset(dag); }
+
+void dag_frontier::reset(const gate_dag& dag) {
+    dag_ = &dag;
+    executed_ = 0;
+    front_.clear();
     remaining_preds_.resize(static_cast<std::size_t>(dag.num_nodes()));
     executed_flags_.assign(static_cast<std::size_t>(dag.num_nodes()), 0);
     for (int node = 0; node < dag.num_nodes(); ++node) {
@@ -35,16 +39,28 @@ void dag_frontier::execute(int node) {
 
 std::vector<int> dag_frontier::lookahead_set(int limit) const {
     std::vector<int> out;
-    if (limit <= 0) return out;
-    std::vector<char> seen(static_cast<std::size_t>(dag_->num_nodes()), 0);
-    std::deque<int> queue;
+    std::vector<char> seen;
+    std::vector<int> queue;
+    lookahead_set(limit, out, seen, queue);
+    return out;
+}
+
+void dag_frontier::lookahead_set(int limit, std::vector<int>& out, std::vector<char>& seen,
+                                 std::vector<int>& queue) const {
+    out.clear();
+    if (limit <= 0) return;
+    seen.assign(static_cast<std::size_t>(dag_->num_nodes()), 0);
+    queue.clear();
+    // The deque of the allocating version becomes a vector plus a head
+    // cursor: pops never reclaim space, so the traversal order (and the
+    // returned set) is unchanged while the storage is reusable.
+    std::size_t head = 0;
     for (const int node : front_) {
         seen[static_cast<std::size_t>(node)] = 1;
         queue.push_back(node);
     }
-    while (!queue.empty() && static_cast<int>(out.size()) < limit) {
-        const int cur = queue.front();
-        queue.pop_front();
+    while (head < queue.size() && static_cast<int>(out.size()) < limit) {
+        const int cur = queue[head++];
         for (const int succ : dag_->succs(cur)) {
             if (seen[static_cast<std::size_t>(succ)] ||
                 executed_flags_[static_cast<std::size_t>(succ)]) {
@@ -56,7 +72,6 @@ std::vector<int> dag_frontier::lookahead_set(int limit) const {
             queue.push_back(succ);
         }
     }
-    return out;
 }
 
 // --- emission_buffer --------------------------------------------------------
@@ -107,6 +122,12 @@ void emission_buffer::finish(const mapping& current) {
     for (int q = 0; q < logical_->num_qubits(); ++q) {
         drain_single_qubit(q, logical_->size(), current);
     }
+}
+
+void emission_buffer::reset() {
+    physical_.clear_gates();
+    std::fill(cursor_.begin(), cursor_.end(), 0);
+    swaps_ = 0;
 }
 
 // --- greedy placement -------------------------------------------------------

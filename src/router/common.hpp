@@ -26,6 +26,11 @@ class dag_frontier {
 public:
     explicit dag_frontier(const gate_dag& dag);
 
+    /// Re-initializes over `dag` (which may be the same one), reusing
+    /// the internal buffers' capacity — per-trial arenas reset one
+    /// frontier per pass instead of constructing a fresh one.
+    void reset(const gate_dag& dag);
+
     [[nodiscard]] const std::vector<int>& front() const { return front_; }
     [[nodiscard]] bool done() const { return executed_ == dag_->num_nodes(); }
     [[nodiscard]] int executed_count() const { return executed_; }
@@ -40,6 +45,13 @@ public:
     /// successors, deduplicated, in discovery order) — SABRE's extended
     /// set.
     [[nodiscard]] std::vector<int> lookahead_set(int limit) const;
+
+    /// Allocation-free variant: fills `out` (cleared first) with exactly
+    /// the nodes lookahead_set(limit) would return, using the caller's
+    /// `seen`/`queue` scratch. The routers call this once per emitted
+    /// swap, so the buffers' capacity persists across the routing loop.
+    void lookahead_set(int limit, std::vector<int>& out, std::vector<char>& seen,
+                       std::vector<int>& queue) const;
 
 private:
     const gate_dag* dag_;
@@ -65,7 +77,17 @@ public:
     /// Emits all trailing single-qubit gates; call once after routing.
     void finish(const mapping& current);
 
+    /// Rewinds to the just-constructed state (no gates emitted, cursors
+    /// at zero) while keeping the per-qubit index lists and all buffer
+    /// capacity — the same logical circuit can be routed again with zero
+    /// steady-state allocation. Per-trial arenas call this between
+    /// trials.
+    void reset();
+
     [[nodiscard]] circuit take() { return std::move(physical_); }
+    /// Borrow the emitted circuit without consuming it (arenas copy the
+    /// best trial's circuit out and then reset() for the next trial).
+    [[nodiscard]] const circuit& physical_circuit() const { return physical_; }
     [[nodiscard]] std::size_t swaps_emitted() const { return swaps_; }
 
 private:

@@ -1,12 +1,16 @@
 #include "router/sabre.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "circuit/dag.hpp"
 #include "router/common.hpp"
+#include "util/restart.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -14,37 +18,80 @@ namespace qubikos::router {
 
 namespace {
 
-/// One routing pass over a prepared DAG. Returns the final mapping.
+constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
+
+/// Every buffer one routing pass touches, bundled for reuse: a trial
+/// arena holds one of these and resets it per pass, so steady-state
+/// trials allocate nothing. The flat int32 operand buffers keep the
+/// score inner loop reading contiguous memory with no per-candidate
+/// branching.
+struct pass_scratch {
+    dag_frontier frontier;
+    std::vector<double> decay;
+    std::vector<int> executable;
+    std::vector<edge> candidates;
+    std::vector<int> extended;
+    std::vector<char> lookahead_seen;
+    std::vector<int> lookahead_queue;
+    std::vector<std::int32_t> front_phys;
+    std::vector<std::int32_t> ext_phys;
+    std::vector<double> ext_weight;
+    std::vector<swap_score> scores;
+    std::vector<std::size_t> best_indices;
+
+    explicit pass_scratch(const gate_dag& dag) : frontier(dag) {}
+};
+
+/// Abort bounds of one pass. `max_decisions` is the wave-frozen swap
+/// budget of the portfolio's mapping passes; `incumbent` (emission pass
+/// only) aborts a trial once its emitted swaps exceed the best completed
+/// trial — a sound cut: the aborted trial could not have won.
+struct pass_limits {
+    std::size_t max_decisions = kNoLimit;
+    const std::atomic<std::size_t>* incumbent = nullptr;
+};
+
+/// One routing pass over a prepared DAG. `current` is the initial
+/// mapping on entry and the final mapping on return. Returns false when
+/// a limit aborted the pass (current/emit then hold partial state).
+/// `decisions` accumulates every swap applied, across calls.
 ///
-/// The inner loops run on reused flat scratch buffers: the executable
-/// drain collects into one vector instead of copying the front layer per
+/// The inner loops run on the reused scratch: the executable drain
+/// collects into one vector instead of copying the front layer per
 /// sweep, per-gate physical operand locations are looked up once per
-/// decision point (not once per candidate x gate), and the score /
-/// tie-break vectors keep their capacity across iterations.
-mapping route_pass(const gate_dag& dag, const graph& coupling,
-                   const distance_matrix& dist, const mapping& initial,
-                   const sabre_options& options, rng& random, emission_buffer* emit,
-                   const sabre_observer& observer, std::size_t* force_route_count) {
-    mapping current = initial;
-    dag_frontier frontier(dag);
-    std::vector<double> decay(static_cast<std::size_t>(coupling.num_vertices()), 1.0);
+/// decision point (not once per candidate x gate) into flat int32
+/// buffers, and the score / tie-break vectors keep their capacity across
+/// iterations.
+bool route_pass(const gate_dag& dag, const graph& coupling, const distance_matrix& dist,
+                mapping& current, const sabre_options& options, rng& random,
+                emission_buffer* emit, const sabre_observer& observer,
+                std::size_t* force_route_count, pass_scratch& scratch,
+                const pass_limits& limits, std::size_t& decisions) {
+    dag_frontier& frontier = scratch.frontier;
+    frontier.reset(dag);
+    scratch.decay.assign(static_cast<std::size_t>(coupling.num_vertices()), 1.0);
+    std::vector<double>& decay = scratch.decay;
     int swaps_since_reset = 0;
     int swaps_since_progress = 0;
     const int release_threshold =
         options.release_valve > 0 ? options.release_valve : 3 * dist.diameter() + 20;
 
-    // Scratch buffers reused across every iteration of the routing loop.
-    std::vector<int> executable;
-    std::vector<edge> candidates;
-    std::vector<std::pair<int, int>> front_phys;
-    std::vector<std::pair<int, int>> ext_phys;
-    std::vector<double> ext_weight;
-    std::vector<swap_score> scores;
-    std::vector<std::size_t> best_indices;
+    std::vector<int>& executable = scratch.executable;
+    std::vector<edge>& candidates = scratch.candidates;
+    std::vector<std::int32_t>& front_phys = scratch.front_phys;
+    std::vector<std::int32_t>& ext_phys = scratch.ext_phys;
+    std::vector<double>& ext_weight = scratch.ext_weight;
+    std::vector<swap_score>& scores = scratch.scores;
+    std::vector<std::size_t>& best_indices = scratch.best_indices;
 
     const auto reset_decay = [&decay, &swaps_since_reset]() {
         std::fill(decay.begin(), decay.end(), 1.0);
         swaps_since_reset = 0;
+    };
+
+    const auto over_incumbent = [&]() {
+        return limits.incumbent != nullptr && emit != nullptr &&
+               emit->swaps_emitted() > limits.incumbent->load(std::memory_order_relaxed);
     };
 
     // Distance of a gate (cached physical operands p0, p1) after
@@ -97,7 +144,10 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
                 }
             }
             if (emit != nullptr) {
+                const std::size_t before = emit->swaps_emitted();
                 force_route(best_node, dag, coupling, dist, current, *emit);
+                decisions += emit->swaps_emitted() - before;
+                if (over_incumbent()) return false;
             } else {
                 // Mapping-only pass: apply the same swaps without emission.
                 const gate& g = dag.node_gate(best_node);
@@ -111,6 +161,7 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
                             break;
                         }
                     }
+                    if (++decisions > limits.max_decisions) return false;
                 }
             }
             swaps_since_progress = 0;
@@ -120,20 +171,25 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
 
         // Score candidate swaps.
         candidate_swaps(frontier.front(), dag, coupling, current, candidates);
-        const auto extended = frontier.lookahead_set(options.extended_set_size);
+        frontier.lookahead_set(options.extended_set_size, scratch.extended,
+                               scratch.lookahead_seen, scratch.lookahead_queue);
+        const std::vector<int>& extended = scratch.extended;
         const auto& front = frontier.front();
 
         // Physical operand locations, looked up once per decision point
-        // and shared by every candidate's score.
+        // and shared by every candidate's score. Flattened to contiguous
+        // int32 pairs so the score loop streams sequential memory.
         front_phys.clear();
         for (const int node : front) {
             const gate& g = dag.node_gate(node);
-            front_phys.emplace_back(current.physical(g.q0), current.physical(g.q1));
+            front_phys.push_back(current.physical(g.q0));
+            front_phys.push_back(current.physical(g.q1));
         }
         ext_phys.clear();
         for (const int node : extended) {
             const gate& g = dag.node_gate(node);
-            ext_phys.emplace_back(current.physical(g.q0), current.physical(g.q1));
+            ext_phys.push_back(current.physical(g.q0));
+            ext_phys.push_back(current.physical(g.q1));
         }
 
         // Extended-set position weights (uniform when lookahead_decay==1).
@@ -156,15 +212,15 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
             swap_score s;
             s.candidate = cand;
             double basic = 0.0;
-            for (const auto& [p0, p1] : front_phys) {
-                basic += dist_after(p0, p1, cand.a, cand.b);
+            for (std::size_t i = 0; i < front_phys.size(); i += 2) {
+                basic += dist_after(front_phys[i], front_phys[i + 1], cand.a, cand.b);
             }
-            s.basic = basic / static_cast<double>(front_phys.size());
+            s.basic = basic / static_cast<double>(front_phys.size() / 2);
             if (!ext_phys.empty()) {
                 double ext = 0.0;
-                for (std::size_t i = 0; i < ext_phys.size(); ++i) {
-                    ext += ext_weight[i] *
-                           dist_after(ext_phys[i].first, ext_phys[i].second, cand.a, cand.b);
+                for (std::size_t i = 0; i < ext_phys.size(); i += 2) {
+                    ext += ext_weight[i / 2] *
+                           dist_after(ext_phys[i], ext_phys[i + 1], cand.a, cand.b);
                 }
                 s.lookahead = options.extended_set_weight * ext / ext_norm;
             }
@@ -198,9 +254,11 @@ mapping route_pass(const gate_dag& dag, const graph& coupling,
         decay[static_cast<std::size_t>(chosen.b)] += options.decay_increment;
         ++swaps_since_progress;
         if (++swaps_since_reset >= options.decay_reset_interval) reset_decay();
+        if (++decisions > limits.max_decisions) return false;
+        if (over_incumbent()) return false;
     }
 
-    return current;
+    return true;
 }
 
 /// Reverses a circuit's gate order (dependency structure mirrored); used
@@ -211,14 +269,266 @@ circuit reversed(const circuit& c) {
     return out;
 }
 
-/// Everything one trial produces; slots are preallocated so parallel
-/// trials never contend.
-struct trial_result {
-    std::size_t swaps = 0;
-    std::size_t force_routes = 0;
+/// Per-slot trial arena: all pass scratch plus the slot's running
+/// reduction state. Trials on one slot arrive in increasing index order
+/// (the pool's claim cursor is monotonic), so keeping the first
+/// strictly-better result reproduces the serial lowest-index tie-break;
+/// the cross-slot reduction finishes the job lexicographically.
+struct trial_arena {
+    pass_scratch scratch;
+    emission_buffer emit;
     mapping initial;
-    circuit physical;
+    mapping current;
+    std::vector<int> perm;
+
+    std::size_t best_swaps = kNoLimit;
+    long best_trial = -1;
+    mapping best_initial;
+    circuit best_physical;
+    std::size_t force_routes = 0;
+    std::size_t decisions = 0;
+    std::size_t completed = 0;
+    std::size_t pruned = 0;
+    /// Costliest single mapping pass of the slot-best trial (portfolio
+    /// budget auto-calibration; deterministic — a completing trial's
+    /// mapping passes ran un-aborted).
+    std::size_t best_map_pass = 0;
+
+    trial_arena(const circuit& logical, const gate_dag& dag, int num_physical)
+        : scratch(dag), emit(logical, dag, num_physical) {}
 };
+
+/// Shared fixtures of one route_sabre call.
+struct trial_context {
+    const circuit& logical;
+    const graph& coupling;
+    const distance_matrix& dist;
+    const gate_dag& dag;
+    const gate_dag& reverse_dag;
+    const sabre_options& options;
+};
+
+/// Runs one trial in `arena`. Returns true when the trial completed (its
+/// result is folded into the slot state), false when a limit pruned it.
+bool run_trial(const trial_context& ctx, trial_arena& arena, std::size_t trial,
+               std::size_t map_budget, const std::atomic<std::size_t>* incumbent) {
+    // Salted stream: tool seeds must never alias generator seeds, or
+    // a trial would silently reproduce the planted optimal mapping.
+    rng random((ctx.options.seed ^ 0x5ab3e7a1c2d9f04bULL) +
+               static_cast<std::uint64_t>(trial) * 0x9e3779b97f4a7c15ULL);
+    mapping::random_into(arena.initial, ctx.logical.num_qubits(),
+                         ctx.coupling.num_vertices(), random, arena.perm);
+
+    std::size_t trial_map_pass = 0;
+    if (ctx.options.bidirectional) {
+        // Forward then backward mapping-only passes refine the initial
+        // mapping (SABRE's bidirectional trick). `map_budget` bounds each
+        // pass individually (decisions accumulates across passes and
+        // trials), so the limit is offset by the pass start.
+        arena.current = arena.initial;
+        std::size_t before = arena.decisions;
+        pass_limits budget{map_budget == kNoLimit ? kNoLimit : before + map_budget, nullptr};
+        if (!route_pass(ctx.dag, ctx.coupling, ctx.dist, arena.current, ctx.options, random,
+                        nullptr, {}, nullptr, arena.scratch, budget, arena.decisions)) {
+            return false;
+        }
+        trial_map_pass = arena.decisions - before;
+        before = arena.decisions;
+        budget.max_decisions = map_budget == kNoLimit ? kNoLimit : before + map_budget;
+        if (!route_pass(ctx.reverse_dag, ctx.coupling, ctx.dist, arena.current, ctx.options,
+                        random, nullptr, {}, nullptr, arena.scratch, budget,
+                        arena.decisions)) {
+            return false;
+        }
+        trial_map_pass = std::max(trial_map_pass, arena.decisions - before);
+        arena.initial = arena.current;
+    }
+
+    arena.emit.reset();
+    std::size_t force_routes = 0;
+    arena.current = arena.initial;
+    const bool done =
+        route_pass(ctx.dag, ctx.coupling, ctx.dist, arena.current, ctx.options, random,
+                   &arena.emit, {}, &force_routes, arena.scratch,
+                   pass_limits{kNoLimit, incumbent}, arena.decisions);
+    arena.force_routes += force_routes;
+    if (!done) return false;
+    arena.emit.finish(arena.current);
+
+    const std::size_t swaps = arena.emit.swaps_emitted();
+    if (swaps < arena.best_swaps) {
+        arena.best_swaps = swaps;
+        arena.best_trial = static_cast<long>(trial);
+        arena.best_initial = arena.initial;
+        arena.best_physical = arena.emit.physical_circuit();
+        arena.best_map_pass = trial_map_pass;
+    }
+    return true;
+}
+
+/// Deterministic cross-slot reduction: fewest swaps wins, ties broken by
+/// lowest trial index — together with the in-slot ascending-order scan
+/// this is bit-identical to the serial loop for any thread count.
+routed_circuit reduce_slots(std::vector<trial_arena>& arenas, sabre_stats* stats,
+                            std::size_t requested_trials) {
+    trial_arena* winner = nullptr;
+    std::size_t total_force_routes = 0;
+    std::size_t total_decisions = 0;
+    std::size_t completed = 0;
+    std::size_t pruned = 0;
+    for (auto& arena : arenas) {
+        total_force_routes += arena.force_routes;
+        total_decisions += arena.decisions;
+        completed += arena.completed;
+        pruned += arena.pruned;
+        if (arena.best_trial < 0) continue;
+        if (winner == nullptr || arena.best_swaps < winner->best_swaps ||
+            (arena.best_swaps == winner->best_swaps && arena.best_trial < winner->best_trial)) {
+            winner = &arena;
+        }
+    }
+    if (winner == nullptr) {
+        // Unreachable by construction: the first trial to finish always
+        // completes (the incumbent is unset until then, and wave 0 runs
+        // unbudgeted).
+        throw std::logic_error("route_sabre: every trial was pruned");
+    }
+    routed_circuit best;
+    best.initial = std::move(winner->best_initial);
+    best.physical = std::move(winner->best_physical);
+    if (stats != nullptr) {
+        stats->best_swaps = winner->best_swaps;
+        stats->best_trial = static_cast<int>(winner->best_trial);
+        stats->force_routes = total_force_routes;
+        stats->trials_run = completed;
+        stats->trials_pruned = pruned;
+        stats->trials_skipped = requested_trials - completed - pruned;
+        stats->pass_decisions = total_decisions;
+        stats->waves = 0;
+        stats->arena_slots = arenas.size();
+    }
+    return best;
+}
+
+void validate_options(const sabre_options& options) {
+    if (options.trials < 1) throw std::invalid_argument("route_sabre: trials must be >= 1");
+    if (options.threads < 0) throw std::invalid_argument("route_sabre: threads must be >= 0");
+    if (options.portfolio_wave < 0 || options.portfolio_budget_base < 0 ||
+        options.portfolio_patience < 0 || options.portfolio_target_swaps < 0) {
+        throw std::invalid_argument("route_sabre: portfolio knobs must be >= 0");
+    }
+    if (options.portfolio_budget_growth != 0.0 && options.portfolio_budget_growth < 1.0) {
+        throw std::invalid_argument(
+            "route_sabre: portfolio_budget_growth must be 0 (luby) or >= 1");
+    }
+}
+
+/// Mapping-pass budget of wave `w` (>= 1): base scaled by the Luby
+/// sequence, or geometrically when growth >= 1.
+std::size_t wave_budget(std::size_t base, std::size_t w, double growth) {
+    if (base == 0) return kNoLimit;
+    if (growth >= 1.0) {
+        const double b = static_cast<double>(base) * std::pow(growth, static_cast<double>(w - 1));
+        if (b >= static_cast<double>(kNoLimit) / 2) return kNoLimit;
+        return static_cast<std::size_t>(b);
+    }
+    const std::uint64_t factor = luby(static_cast<std::uint64_t>(w - 1));
+    if (factor > kNoLimit / base) return kNoLimit;
+    return base * static_cast<std::size_t>(factor);
+}
+
+/// The portfolio trial scheduler: deterministic waves of diversified-seed
+/// trials under luby/geometric mapping-pass budgets, a relaxed atomic
+/// incumbent aborting hopeless emission passes, and early stop on target
+/// quality or stalled improvement. See sabre_options for the soundness /
+/// determinism contract.
+routed_circuit route_sabre_portfolio(const trial_context& ctx, sabre_stats* stats) {
+    const sabre_options& options = ctx.options;
+    const std::size_t trials = static_cast<std::size_t>(options.trials);
+    const std::size_t width = std::min(
+        thread_pool::resolve_threads(static_cast<std::size_t>(options.threads)), trials);
+    const std::size_t wave_size = options.portfolio_wave > 0
+                                      ? static_cast<std::size_t>(options.portfolio_wave)
+                                      : std::max<std::size_t>(width, 4);
+
+    std::vector<trial_arena> arenas;
+    arenas.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        arenas.emplace_back(ctx.logical, ctx.dag, ctx.coupling.num_vertices());
+    }
+
+    std::atomic<std::size_t> incumbent{kNoLimit};
+    const std::size_t explicit_base = static_cast<std::size_t>(options.portfolio_budget_base);
+    std::size_t budget_base = explicit_base;
+    std::size_t scheduled = 0;
+    std::size_t wave_index = 0;
+    int stale_waves = 0;
+    std::size_t frozen_best = kNoLimit;
+
+    while (scheduled < trials) {
+        if (options.portfolio_target_swaps > 0 &&
+            frozen_best <= static_cast<std::size_t>(options.portfolio_target_swaps)) {
+            break;
+        }
+        if (options.portfolio_patience > 0 && stale_waves >= options.portfolio_patience) break;
+
+        const std::size_t map_budget =
+            wave_index == 0 ? kNoLimit
+                            : wave_budget(budget_base, wave_index, options.portfolio_budget_growth);
+        const std::size_t wave_end = std::min(scheduled + wave_size, trials);
+        thread_pool::shared().parallel_for_slots(
+            scheduled, wave_end, width,
+            [&](std::size_t trial, std::size_t slot) {
+                trial_arena& arena = arenas[slot];
+                if (!run_trial(ctx, arena, trial, map_budget, &incumbent)) {
+                    ++arena.pruned;
+                    return;
+                }
+                ++arena.completed;
+                // Relaxed fetch-min: later trials abort against the best
+                // completed swap count.
+                std::size_t cur = incumbent.load(std::memory_order_relaxed);
+                const std::size_t swaps = arena.emit.swaps_emitted();
+                while (swaps < cur &&
+                       !incumbent.compare_exchange_weak(cur, swaps, std::memory_order_relaxed)) {
+                }
+            },
+            /*chunk=*/1);
+        scheduled = wave_end;
+        ++wave_index;
+
+        // Wave barrier: every scheduling input below is deterministic —
+        // the global winner is the lexicographic (swaps, trial) minimum
+        // over completed trials, trials achieving the true best always
+        // complete, and a completing trial's mapping passes ran
+        // un-aborted — so budgets and stop decisions replay exactly for
+        // any thread count.
+        const trial_arena* winner = nullptr;
+        for (const auto& arena : arenas) {
+            if (arena.best_trial < 0) continue;
+            if (winner == nullptr || arena.best_swaps < winner->best_swaps ||
+                (arena.best_swaps == winner->best_swaps &&
+                 arena.best_trial < winner->best_trial)) {
+                winner = &arena;
+            }
+        }
+        if (explicit_base == 0 && winner != nullptr) {
+            // Auto-calibration: half of the winner's own costliest
+            // mapping pass. Tight on purpose — trials whose
+            // refinement runs past what the incumbent class needed are
+            // abandoned early, and the Luby schedule's 2x / 4x waves
+            // still let winner-class and long-shot trials run far.
+            budget_base = winner->best_map_pass / 2;
+        }
+        const std::size_t best_now = winner != nullptr ? winner->best_swaps : kNoLimit;
+        stale_waves = best_now < frozen_best ? 0 : stale_waves + 1;
+        frozen_best = best_now;
+    }
+
+    routed_circuit best = reduce_slots(arenas, stats, trials);
+    if (stats != nullptr) stats->waves = wave_index;
+    return best;
+}
 
 }  // namespace
 
@@ -236,19 +546,26 @@ routed_circuit route_sabre_with_initial(const circuit& logical, const graph& cou
     const gate_dag dag(logical);
     rng random(options.seed);
 
+    pass_scratch scratch(dag);
     emission_buffer emit(logical, dag, coupling.num_vertices());
     std::size_t force_routes = 0;
-    const mapping final_mapping = route_pass(dag, coupling, dist, initial, options,
-                                             random, &emit, observer, &force_routes);
+    std::size_t decisions = 0;
+    mapping final_mapping = initial;
+    route_pass(dag, coupling, dist, final_mapping, options, random, &emit, observer,
+               &force_routes, scratch, {}, decisions);
     emit.finish(final_mapping);
 
     routed_circuit out;
     out.initial = initial;
     out.physical = emit.take();
     if (stats != nullptr) {
+        *stats = {};
         stats->best_swaps = out.swap_count();
         stats->best_trial = 0;
         stats->force_routes = force_routes;
+        stats->trials_run = 1;
+        stats->pass_decisions = decisions;
+        stats->arena_slots = 1;
     }
     return out;
 }
@@ -264,8 +581,12 @@ mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
                             const sabre_options& options) {
     const gate_dag dag(logical);
     rng random(options.seed);
-    return route_pass(dag, coupling, dist, initial, options, random, nullptr, {},
-                      nullptr);
+    pass_scratch scratch(dag);
+    std::size_t decisions = 0;
+    mapping current = initial;
+    route_pass(dag, coupling, dist, current, options, random, nullptr, {}, nullptr, scratch,
+               {}, decisions);
+    return current;
 }
 
 routed_circuit route_sabre(const circuit& logical, const graph& coupling,
@@ -277,86 +598,40 @@ routed_circuit route_sabre(const circuit& logical, const graph& coupling,
 routed_circuit route_sabre(const circuit& logical, const graph& coupling,
                            const distance_matrix& dist, const sabre_options& options,
                            sabre_stats* stats) {
-    if (options.trials < 1) throw std::invalid_argument("route_sabre: trials must be >= 1");
-    if (options.threads < 0) throw std::invalid_argument("route_sabre: threads must be >= 0");
+    validate_options(options);
     const gate_dag dag(logical);
     const circuit reversed_logical = reversed(logical);
     const gate_dag reverse_dag(reversed_logical);
+    const trial_context ctx{logical, coupling, dist, dag, reverse_dag, options};
+
+    if (options.portfolio) return route_sabre_portfolio(ctx, stats);
 
     // Trials draw from independent salted RNG streams and share only
-    // read-only state, so they are embarrassingly parallel: each writes
-    // its preallocated slot, then a serial reduction picks the winner.
-    // Slots are recycled block by block so peak memory is O(pool size),
-    // not O(trials) — at paper scale (1000 trials) holding every routed
+    // read-only state, so they are embarrassingly parallel: each slot of
+    // the process-wide pool runs trials out of its own arena (steady
+    // state allocates nothing) and keeps a running slot-local best, then
+    // a serial reduction picks the winner. Peak memory is O(slots), not
+    // O(trials) — at paper scale (1000 trials) holding every routed
     // circuit at once would dwarf the routing state itself.
     const std::size_t trials = static_cast<std::size_t>(options.trials);
-    thread_pool pool(std::min(thread_pool::resolve_threads(
-                                  static_cast<std::size_t>(options.threads)),
-                              trials));
-    const std::size_t block =
-        std::min(trials, std::max<std::size_t>(pool.size() * 4, 16));
-    std::vector<trial_result> results(block);
-
-    const auto run_trial = [&](std::size_t trial) {
-        // Salted stream: tool seeds must never alias generator seeds, or
-        // a trial would silently reproduce the planted optimal mapping.
-        rng random((options.seed ^ 0x5ab3e7a1c2d9f04bULL) +
-                   static_cast<std::uint64_t>(trial) * 0x9e3779b97f4a7c15ULL);
-        mapping initial =
-            mapping::random(logical.num_qubits(), coupling.num_vertices(), random);
-
-        if (options.bidirectional) {
-            // Forward then backward mapping-only passes refine the initial
-            // mapping (SABRE's bidirectional trick).
-            const mapping after_forward =
-                route_pass(dag, coupling, dist, initial, options, random,
-                           nullptr, {}, nullptr);
-            initial = route_pass(reverse_dag, coupling, dist, after_forward,
-                                 options, random, nullptr, {}, nullptr);
-        }
-
-        emission_buffer emit(logical, dag, coupling.num_vertices());
-        std::size_t force_routes = 0;
-        const mapping final_mapping = route_pass(dag, coupling, dist, initial,
-                                                 options, random, &emit, {}, &force_routes);
-        emit.finish(final_mapping);
-
-        trial_result& slot = results[trial % block];
-        slot.swaps = emit.swaps_emitted();
-        slot.force_routes = force_routes;
-        slot.initial = std::move(initial);
-        slot.physical = emit.take();
-    };
-
-    // Deterministic reduction: fewest swaps wins, ties broken by lowest
-    // trial index — the per-block reduction scans slots in trial order,
-    // so the result is bit-identical to the serial loop for any thread
-    // count and any block size.
-    routed_circuit best;
-    std::size_t best_swaps = std::numeric_limits<std::size_t>::max();
-    int best_trial = -1;
-    std::size_t total_force_routes = 0;
-    for (std::size_t start = 0; start < trials; start += block) {
-        const std::size_t end = std::min(start + block, trials);
-        pool.parallel_for(start, end, run_trial);
-        for (std::size_t trial = start; trial < end; ++trial) {
-            trial_result& slot = results[trial % block];
-            total_force_routes += slot.force_routes;
-            if (slot.swaps < best_swaps) {
-                best_swaps = slot.swaps;
-                best_trial = static_cast<int>(trial);
-                best.initial = std::move(slot.initial);
-                best.physical = std::move(slot.physical);
-            }
-        }
+    const std::size_t width = std::min(
+        thread_pool::resolve_threads(static_cast<std::size_t>(options.threads)), trials);
+    std::vector<trial_arena> arenas;
+    arenas.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+        arenas.emplace_back(logical, dag, coupling.num_vertices());
     }
 
-    if (stats != nullptr) {
-        stats->best_swaps = best_swaps;
-        stats->best_trial = best_trial;
-        stats->force_routes = total_force_routes;
-    }
-    return best;
+    thread_pool::shared().parallel_for_slots(
+        0, trials, width,
+        [&](std::size_t trial, std::size_t slot) {
+            trial_arena& arena = arenas[slot];
+            run_trial(ctx, arena, trial, kNoLimit, nullptr);
+            ++arena.completed;
+        },
+        /*chunk=*/1);
+
+    return reduce_slots(arenas, stats, trials);
 }
 
 }  // namespace qubikos::router

@@ -4,26 +4,11 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/restart.hpp"
+
 namespace qubikos::sat {
 
 namespace {
-
-/// Luby restart sequence (1,1,2,1,1,2,4,...) scaled by the caller.
-std::uint64_t luby(std::uint64_t i) {
-    // Find the finite subsequence containing index i and its position.
-    std::uint64_t size = 1;
-    std::uint64_t seq = 0;
-    while (size < i + 1) {
-        ++seq;
-        size = 2 * size + 1;
-    }
-    while (size - 1 != i) {
-        size = (size - 1) / 2;
-        --seq;
-        i = i % size;
-    }
-    return std::uint64_t{1} << seq;
-}
 
 constexpr std::uint64_t kRestartBase = 100;
 

@@ -1,0 +1,33 @@
+// Restart-budget schedules shared by the CDCL solver and the SABRE
+// portfolio trial scheduler.
+//
+// luby() is the classic Luby-Sinclair-Zuckerman universal restart
+// sequence (1,1,2,1,1,2,4,1,...): scaling a base budget by luby(i) for
+// the i-th attempt is within a log factor of the optimal restart policy
+// for any run-time distribution — which is exactly the regime a
+// diversified-seed trial portfolio lives in (most trials are doomed,
+// a few are great, and nobody knows which in advance).
+#pragma once
+
+#include <cstdint>
+
+namespace qubikos {
+
+/// i-th element (0-based) of the Luby sequence 1,1,2,1,1,2,4,1,1,2,...
+constexpr std::uint64_t luby(std::uint64_t i) {
+    // Find the finite subsequence containing index i and its position.
+    std::uint64_t size = 1;
+    std::uint64_t seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) / 2;
+        --seq;
+        i = i % size;
+    }
+    return std::uint64_t{1} << seq;
+}
+
+}  // namespace qubikos

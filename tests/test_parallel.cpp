@@ -63,6 +63,76 @@ TEST(thread_pool, propagates_exceptions) {
                  std::runtime_error);
 }
 
+TEST(thread_pool, cancellation_skips_indices_after_a_throw) {
+    // Two participants, two chunks of two. Whoever claims the chunk
+    // {0, 1} throws at index 0; the cancellation check before every
+    // index guarantees index 1 — same chunk, already claimed — never
+    // runs. (The other chunk may or may not run, depending on timing.)
+    thread_pool pool(2);
+    std::vector<std::atomic<int>> hits(4);
+    EXPECT_THROW(pool.parallel_for_slots(0, 4, 0,
+                                         [&](std::size_t i, std::size_t) {
+                                             if (i == 0) throw std::runtime_error("boom");
+                                             hits[i].fetch_add(1);
+                                         },
+                                         /*chunk=*/2),
+                 std::runtime_error);
+    EXPECT_EQ(hits[1].load(), 0);
+}
+
+TEST(thread_pool, inline_path_stops_at_the_throw) {
+    thread_pool pool(1);
+    std::vector<int> hits(10, 0);
+    EXPECT_THROW(pool.parallel_for(0, 10,
+                                   [&](std::size_t i) {
+                                       if (i == 5) throw std::runtime_error("boom");
+                                       hits[i] = 1;
+                                   }),
+                 std::runtime_error);
+    EXPECT_EQ(hits, (std::vector<int>{1, 1, 1, 1, 1, 0, 0, 0, 0, 0}));
+}
+
+TEST(thread_pool, slots_cover_indices_in_ascending_claim_order) {
+    // Width-capped chunked dispatch: every index exactly once, slot ids
+    // below the cap, and each slot's claims monotonically increasing —
+    // the property the per-slot best reduction of route_sabre relies on.
+    thread_pool pool(8);
+    constexpr std::size_t n = 5000;
+    constexpr std::size_t width = 3;
+    std::vector<std::vector<std::size_t>> per_slot(width);
+    pool.parallel_for_slots(
+        0, n, width,
+        [&](std::size_t i, std::size_t slot) {
+            ASSERT_LT(slot, width);
+            per_slot[slot].push_back(i);  // slot-local, no synchronization needed
+        },
+        /*chunk=*/7);
+    std::vector<char> seen(n, 0);
+    for (const auto& claimed : per_slot) {
+        for (std::size_t k = 0; k < claimed.size(); ++k) {
+            if (k > 0) EXPECT_LT(claimed[k - 1], claimed[k]);
+            ASSERT_LT(claimed[k], n);
+            EXPECT_EQ(seen[claimed[k]], 0) << claimed[k];
+            seen[claimed[k]] = 1;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(thread_pool, shared_pool_supports_nested_parallel_for) {
+    // The hot paths all dispatch onto one process-wide pool; a nested
+    // publish from inside a running job (evaluate_suite -> route_sabre)
+    // must complete rather than deadlock, because publishers always
+    // participate in their own jobs.
+    auto& pool = thread_pool::shared();
+    EXPECT_GE(pool.size(), 1u);
+    std::atomic<std::size_t> total{0};
+    pool.parallel_for(0, 8, [&](std::size_t) {
+        pool.parallel_for(0, 100, [&](std::size_t i) { total.fetch_add(i); });
+    });
+    EXPECT_EQ(total.load(), 8u * 4950u);
+}
+
 TEST(thread_pool, env_override_resolves_auto_size) {
     ASSERT_EQ(setenv("QUBIKOS_THREADS", "3", 1), 0);
     EXPECT_EQ(thread_pool::resolve_threads(0), 3u);
@@ -122,6 +192,159 @@ TEST(parallel_sabre, more_threads_than_trials) {
     const auto b = router::route_sabre(instance.logical, device.coupling, serial);
     EXPECT_EQ(a.initial, b.initial);
     EXPECT_EQ(a.physical.gates(), b.physical.gates());
+}
+
+TEST(parallel_sabre, stats_report_live_arena_slots) {
+    // Peak trial-result memory is O(min(threads, trials)): the engine
+    // sizes its arenas to the live slots, not the trial count.
+    const auto device = arch::aspen4();
+    core::generator_options gen;
+    gen.num_swaps = 3;
+    gen.total_two_qubit_gates = 60;
+    gen.seed = 21;
+    const auto instance = core::generate(device, gen);
+
+    router::sabre_options options;
+    options.trials = 3;
+    options.threads = 8;  // more threads than trials: slots clamp to trials
+    router::sabre_stats stats;
+    (void)router::route_sabre(instance.logical, device.coupling, options, &stats);
+    EXPECT_EQ(stats.arena_slots, 3u);
+    EXPECT_EQ(stats.trials_run, 3u);
+    EXPECT_EQ(stats.trials_pruned, 0u);
+    EXPECT_EQ(stats.trials_skipped, 0u);
+    EXPECT_GT(stats.pass_decisions, 0u);
+
+    options.trials = 20;
+    options.threads = 2;
+    (void)router::route_sabre(instance.logical, device.coupling, options, &stats);
+    EXPECT_EQ(stats.arena_slots, 2u);
+    EXPECT_EQ(stats.trials_run, 20u);
+}
+
+// --- portfolio trial scheduler -----------------------------------------------
+
+core::benchmark_instance portfolio_instance() {
+    const auto device = arch::sycamore54();
+    core::generator_options gen;
+    gen.num_swaps = 8;
+    gen.total_two_qubit_gates = 200;
+    gen.seed = 33;
+    return core::generate(device, gen);
+}
+
+TEST(portfolio_sabre, deterministic_for_fixed_config_across_thread_counts) {
+    const auto device = arch::sycamore54();
+    const auto instance = portfolio_instance();
+
+    router::sabre_options options;
+    options.trials = 24;
+    options.seed = 7;
+    options.portfolio = true;
+    options.portfolio_wave = 6;
+    options.threads = 1;
+    router::sabre_stats reference_stats;
+    const auto reference =
+        router::route_sabre(instance.logical, device.coupling, options, &reference_stats);
+
+    for (const int threads : {2, 4}) {
+        options.threads = threads;
+        router::sabre_stats stats;
+        const auto routed =
+            router::route_sabre(instance.logical, device.coupling, options, &stats);
+        EXPECT_EQ(stats.best_swaps, reference_stats.best_swaps) << threads;
+        EXPECT_EQ(stats.best_trial, reference_stats.best_trial) << threads;
+        EXPECT_EQ(stats.waves, reference_stats.waves) << threads;
+        EXPECT_EQ(routed.initial, reference.initial) << threads;
+        EXPECT_EQ(routed.physical.gates(), reference.physical.gates()) << threads;
+    }
+}
+
+TEST(portfolio_sabre, incumbent_cuts_alone_preserve_the_plain_result) {
+    // With budget cuts disabled and every wave scheduled, the only cut
+    // left is the incumbent abort — which is provably sound, so the
+    // portfolio must reproduce the plain run's winner exactly (same
+    // seeds, same trial count).
+    const auto device = arch::sycamore54();
+    const auto instance = portfolio_instance();
+
+    router::sabre_options plain;
+    plain.trials = 16;
+    plain.seed = 3;
+    plain.threads = 1;
+    router::sabre_stats plain_stats;
+    const auto plain_routed =
+        router::route_sabre(instance.logical, device.coupling, plain, &plain_stats);
+
+    router::sabre_options portfolio = plain;
+    portfolio.portfolio = true;
+    portfolio.portfolio_patience = 0;                  // schedule every wave
+    portfolio.portfolio_budget_base = 2147483647;      // disable budget cuts
+    for (const int threads : {1, 2}) {
+        portfolio.threads = threads;
+        router::sabre_stats stats;
+        const auto routed =
+            router::route_sabre(instance.logical, device.coupling, portfolio, &stats);
+        EXPECT_EQ(stats.best_swaps, plain_stats.best_swaps) << threads;
+        EXPECT_EQ(stats.best_trial, plain_stats.best_trial) << threads;
+        EXPECT_EQ(stats.trials_skipped, 0u) << threads;
+        EXPECT_EQ(routed.initial, plain_routed.initial) << threads;
+        EXPECT_EQ(routed.physical.gates(), plain_routed.physical.gates()) << threads;
+        // The saved work shows up as pruned trials, never as a worse result.
+        EXPECT_LE(stats.pass_decisions, plain_stats.pass_decisions) << threads;
+    }
+}
+
+TEST(portfolio_sabre, accounts_for_every_requested_trial) {
+    const auto device = arch::sycamore54();
+    const auto instance = portfolio_instance();
+
+    router::sabre_options options;
+    options.trials = 24;
+    options.seed = 5;
+    options.threads = 1;
+    options.portfolio = true;
+    options.portfolio_wave = 4;
+    options.portfolio_patience = 1;  // aggressive early stop: skips expected
+    router::sabre_stats stats;
+    (void)router::route_sabre(instance.logical, device.coupling, options, &stats);
+    EXPECT_EQ(stats.trials_run + stats.trials_pruned + stats.trials_skipped, 24u);
+    EXPECT_GE(stats.waves, 1u);
+    EXPECT_LE(stats.waves, 6u);
+    EXPECT_GT(stats.trials_run, 0u);
+}
+
+TEST(portfolio_sabre, target_swaps_stops_scheduling) {
+    const auto device = arch::sycamore54();
+    const auto instance = portfolio_instance();
+
+    router::sabre_options options;
+    options.trials = 32;
+    options.seed = 5;
+    options.threads = 1;
+    options.portfolio = true;
+    options.portfolio_wave = 4;
+    options.portfolio_patience = 0;
+    options.portfolio_target_swaps = 1000000;  // any result satisfies the target
+    router::sabre_stats stats;
+    (void)router::route_sabre(instance.logical, device.coupling, options, &stats);
+    // One wave establishes an incumbent below the target; no further
+    // waves are scheduled.
+    EXPECT_EQ(stats.waves, 1u);
+    EXPECT_EQ(stats.trials_skipped, 28u);
+}
+
+TEST(portfolio_sabre, rejects_shrinking_budget_growth) {
+    const auto device = arch::line(3);
+    core::generator_options gen;
+    gen.num_swaps = 1;
+    gen.seed = 1;
+    const auto instance = core::generate(device, gen);
+    router::sabre_options options;
+    options.portfolio = true;
+    options.portfolio_budget_growth = 0.5;
+    EXPECT_THROW((void)router::route_sabre(instance.logical, device.coupling, options),
+                 std::invalid_argument);
 }
 
 TEST(parallel_sabre, rejects_negative_threads) {
