@@ -26,6 +26,7 @@
 #include "circuit/mapping.hpp"
 #include "core/qubikos.hpp"
 #include "graph/distance.hpp"
+#include "obs/obs.hpp"
 #include "router/common.hpp"
 #include "router/sabre.hpp"
 #include "tools/context.hpp"
@@ -142,6 +143,49 @@ json::value time_route_pass(int reps, std::size_t gates) {
                         {"reps", reps},
                         {"swaps", swaps},
                         {"seconds", seconds}};
+}
+
+json::value time_obs_overhead(int reps, std::size_t gates) {
+    // Telemetry must be free on the hot path: counters batch-publish at
+    // route boundaries, never per decision. This times the route_pass
+    // workload with the registry enabled vs disabled; the gate script
+    // enforces the recorded threshold on the ratio.
+    const auto device = arch::sycamore54();
+    const auto instance = make_instance(device, 10, gates);
+    const mapping initial =
+        mapping::identity(instance.logical.num_qubits(), device.num_qubits());
+    router::sabre_options options;
+    const int obs_reps = std::max(reps, 7);  // 3% gates need the extra noise filtering
+    const bool was_enabled = obs::enabled();
+    std::size_t swaps_on = 0;
+    std::size_t swaps_off = 0;
+    obs::set_enabled(true);
+    const double seconds_enabled = best_seconds(obs_reps, [&] {
+        swaps_on = router::route_sabre_with_initial(instance.logical, device.coupling,
+                                                    initial, options)
+                       .swap_count();
+    });
+    obs::set_enabled(false);
+    const double seconds_disabled = best_seconds(obs_reps, [&] {
+        swaps_off = router::route_sabre_with_initial(instance.logical, device.coupling,
+                                                     initial, options)
+                        .swap_count();
+    });
+    obs::set_enabled(was_enabled);
+    const double threshold = 1.03;
+    const double ratio =
+        seconds_disabled > 0.0 ? seconds_enabled / seconds_disabled : 1.0;
+    std::printf("  obs_overhead     %-12s %9.3fx (on %.1f us, off %.1f us, ceiling %.2fx)\n",
+                device.name.c_str(), ratio, seconds_enabled * 1e6,
+                seconds_disabled * 1e6, threshold);
+    return json::object{{"arch", device.name},
+                        {"gates", gates},
+                        {"reps", obs_reps},
+                        {"identical_swaps", swaps_on == swaps_off},
+                        {"seconds_enabled", seconds_enabled},
+                        {"seconds_disabled", seconds_disabled},
+                        {"overhead_ratio", ratio},
+                        {"threshold", threshold}};
 }
 
 json::value time_candidate_swaps(int reps, std::size_t gates) {
@@ -433,6 +477,7 @@ int run_timed_sections() {
     doc["distance_matrix"] = time_distance_matrix(reps);
     doc["candidate_swaps"] = time_candidate_swaps(reps, gates);
     doc["route_pass"] = time_route_pass(reps, gates);
+    doc["obs_overhead"] = time_obs_overhead(reps, gates);
     doc["routing_context"] = time_routing_context(reps, ok);
     doc["pool_dispatch"] = time_pool_dispatch(reps);
     doc["trial_arena"] = time_trial_arena(gates, ok);

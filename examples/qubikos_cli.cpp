@@ -13,7 +13,8 @@
 //   qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]
 //                            [--threads t] [--max-units m] [--batch b]
 //                            [--retry-quarantined] [-v]
-//   qubikos_cli campaign status <store> [--shards n]
+//   qubikos_cli campaign status <store> [--shards n] [--json]
+//   qubikos_cli campaign profile <store>
 //   qubikos_cli campaign sync <dest_store> <src_store>... [-v]
 //   qubikos_cli campaign pull <dest_store> <src_store>... [-v]
 //   qubikos_cli campaign merge <spec.json> <out_store> <in_store>...
@@ -30,6 +31,7 @@
 #include "arch/architectures.hpp"
 #include "campaign/merge.hpp"
 #include "campaign/plan.hpp"
+#include "campaign/profile.hpp"
 #include "campaign/report.hpp"
 #include "campaign/spec.hpp"
 #include "campaign/status.hpp"
@@ -66,7 +68,8 @@ int usage() {
                  "  qubikos_cli campaign run <spec.json> <store_dir> [--shard k/n]\n"
                  "                           [--threads t] [--max-units m] [--batch b]\n"
                  "                           [--retry-quarantined] [-v]\n"
-                 "  qubikos_cli campaign status <store> [--shards n]\n"
+                 "  qubikos_cli campaign status <store> [--shards n] [--json]\n"
+                 "  qubikos_cli campaign profile <store>\n"
                  "  qubikos_cli campaign sync <dest_store> <src_store>... [-v]\n"
                  "  qubikos_cli campaign pull <dest_store> <src_store>... [-v]\n"
                  "  qubikos_cli campaign merge <spec.json> <out_store> <in_store>...\n"
@@ -328,10 +331,13 @@ int cmd_campaign_status(int argc, char** argv) {
     if (argc < 4) return usage();
     const std::string store_dir = argv[3];
     campaign::status_options options;
+    bool as_json = false;
     for (int i = 4; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--shards" && i + 1 < argc) {
             options.num_shards = std::atoi(argv[++i]);
+        } else if (arg == "--json") {
+            as_json = true;
         } else {
             std::fprintf(stderr, "unknown campaign status option '%s'\n", arg.c_str());
             return 2;
@@ -344,8 +350,24 @@ int cmd_campaign_status(int argc, char** argv) {
     const auto plan = campaign::expand_plan(spec);
     const auto runs = campaign::result_store::load_runs(store_dir);
     const auto status = campaign::probe_status(plan, runs, options);
-    std::fputs(campaign::render_status(plan, status, options).c_str(), stdout);
+    if (as_json) {
+        std::printf("%s\n", campaign::status_to_json(plan, status).dump(2).c_str());
+    } else {
+        std::fputs(campaign::render_status(plan, status, options).c_str(), stdout);
+    }
     return status.complete() ? 0 : 1;
+}
+
+int cmd_campaign_profile(int argc, char** argv) {
+    if (argc < 4) return usage();
+    // Read-only like status: aggregates the store's metrics sidecar
+    // records into per-(suite, tool) cost tables.
+    const std::string store_dir = argv[3];
+    const auto spec = campaign::result_store::load_meta_spec(store_dir);
+    const auto plan = campaign::expand_plan(spec);
+    const auto runs = campaign::result_store::load_runs(store_dir);
+    std::fputs(campaign::render_profile(plan, runs).c_str(), stdout);
+    return 0;
 }
 
 int cmd_campaign_sync(int argc, char** argv) {
@@ -406,6 +428,7 @@ int cmd_campaign(int argc, char** argv) {
     if (std::strcmp(argv[2], "plan") == 0) return cmd_campaign_plan(argc, argv);
     if (std::strcmp(argv[2], "run") == 0) return cmd_campaign_run(argc, argv);
     if (std::strcmp(argv[2], "status") == 0) return cmd_campaign_status(argc, argv);
+    if (std::strcmp(argv[2], "profile") == 0) return cmd_campaign_profile(argc, argv);
     if (std::strcmp(argv[2], "sync") == 0) return cmd_campaign_sync(argc, argv);
     if (std::strcmp(argv[2], "pull") == 0) return cmd_campaign_sync(argc, argv);
     if (std::strcmp(argv[2], "merge") == 0) return cmd_campaign_merge(argc, argv);

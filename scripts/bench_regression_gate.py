@@ -12,7 +12,7 @@ pool_dispatch overhead) and fails — exit code 1 — when any section
 regressed by more than --max-regression (default 25%, overridable with
 the QUBIKOS_BENCH_GATE_PCT env var, e.g. QUBIKOS_BENCH_GATE_PCT=40).
 
-On top of the relative comparisons, three absolute properties of the
+On top of the relative comparisons, four absolute properties of the
 *current* run are enforced:
 
   - route_sabre_trials: when the run's thread_scaling_valid flag is true
@@ -25,6 +25,9 @@ On top of the relative comparisons, three absolute properties of the
     at most 60% of its trial-pass work.
   - trial_arena: marginal heap allocations per extra trial within the
     recorded threshold (steady-state trials must reuse their arena).
+  - obs_overhead: the telemetry registry enabled must cost at most 3%
+    over disabled on the route_pass workload, and both runs must route
+    identically (telemetry never perturbs results).
 
 Sections faster than --min-seconds in the baseline are reported but never
 gated: at that duration the comparison measures scheduler noise. A large
@@ -62,6 +65,7 @@ def tracked_sections(doc):
 
 MIN_THREAD_SPEEDUP = 1.5
 MAX_PORTFOLIO_WORK_RATIO = 0.6
+MAX_OBS_OVERHEAD_RATIO = 1.03
 
 
 def absolute_checks(doc):
@@ -97,6 +101,14 @@ def absolute_checks(doc):
         limit = float(ta["threshold"])
         yield ("trial_arena allocs per extra trial", per_trial <= limit,
                f"{per_trial:.2f} (limit {limit:.0f})")
+    obs = doc.get("obs_overhead")
+    if obs is not None:
+        ratio = float(obs["overhead_ratio"])
+        ceiling = float(obs.get("threshold", MAX_OBS_OVERHEAD_RATIO))
+        yield ("obs_overhead enabled/disabled ratio", ratio <= ceiling,
+               f"{ratio:.3f}x (ceiling {ceiling:.2f}x)")
+        yield ("obs_overhead identical routing", bool(obs.get("identical_swaps", True)),
+               "enabled and disabled runs must agree on swap count")
 
 
 def default_max_regression():

@@ -23,7 +23,12 @@
 #   8. tool-variant drill: a spec-v3 campaign (an option-overridden
 #      registry variant next to a stock tool) runs sharded with a
 #      kill/resume, and the merged report — variant labels and all — is
-#      byte-identical to its single-process reference.
+#      byte-identical to its single-process reference;
+#   9. telemetry drill: a run under QUBIKOS_OBS=metrics persists sidecar
+#      records without disturbing completion, `campaign profile` renders
+#      byte-identically across invocations, `campaign status --json`
+#      parses, and QUBIKOS_TRACE emits a well-formed Chrome-trace JSON
+#      array (CI uploads it; set QUBIKOS_OBS_ARTIFACT_DIR to keep it).
 set -euo pipefail
 
 BUILD_DIR=${1:-build}
@@ -186,3 +191,37 @@ echo "--- v3 merged report is byte-identical to the reference"
 "$CLI" campaign report "$WORK/v3_spec.json" "$WORK/v3_merged" > "$WORK/v3_merged_report.txt"
 diff "$WORK/v3_ref_report.txt" "$WORK/v3_merged_report.txt"
 echo "OK: v3 tool-variant campaign survives kill/resume/merge byte-identically"
+
+echo "--- telemetry drill: metrics store, deterministic profile, trace file"
+OBS_OUT=${QUBIKOS_OBS_ARTIFACT_DIR:-$WORK}
+mkdir -p "$OBS_OUT"
+QUBIKOS_OBS=metrics QUBIKOS_TRACE="$OBS_OUT/trace.json" \
+  "$CLI" campaign run "$WORK/spec.json" "$WORK/obs_store"
+grep -q '"kind":"metrics"' "$WORK/obs_store"/runs-*.jsonl || {
+  echo "error: QUBIKOS_OBS=metrics did not persist metrics sidecar records" >&2
+  exit 1
+}
+"$CLI" campaign profile "$WORK/obs_store" > "$WORK/profile_a.txt"
+"$CLI" campaign profile "$WORK/obs_store" > "$WORK/profile_b.txt"
+diff "$WORK/profile_a.txt" "$WORK/profile_b.txt"
+grep -q "campaign.unit.calls" "$WORK/profile_a.txt" || {
+  echo "error: campaign profile does not aggregate the unit timer" >&2
+  exit 1
+}
+# Sidecars must not perturb the report: byte-identical to the reference.
+"$CLI" campaign report "$WORK/spec.json" "$WORK/obs_store" > "$WORK/obs_report.txt"
+diff "$WORK/ref_report.txt" "$WORK/obs_report.txt"
+"$CLI" campaign status "$WORK/obs_store" --json > "$WORK/status.json"
+python3 - "$WORK/status.json" "$OBS_OUT/trace.json" <<'PY'
+import json, sys
+status = json.load(open(sys.argv[1]))
+assert status["complete"] is True, status
+assert status["totals"]["done"] == status["totals"]["total"], status
+trace = json.load(open(sys.argv[2]))
+assert isinstance(trace, list) and trace, "trace must be a non-empty JSON array"
+for event in trace:
+    assert event["ph"] == "X" and "ts" in event and "dur" in event, event
+names = {event["name"] for event in trace}
+assert "campaign.unit" in names, sorted(names)
+PY
+echo "OK: metrics store profiles deterministically; trace is well-formed Chrome JSON"

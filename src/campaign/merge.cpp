@@ -44,6 +44,7 @@ merged_campaign merge_stores(const campaign_plan& plan,
         }
     };
     std::unordered_map<std::string, failure_info> failures;
+    std::unordered_map<std::string, stored_run> metrics_by_id;
     merged_campaign merged;
 
     const std::string fingerprint = spec_fingerprint(plan.spec);
@@ -59,6 +60,12 @@ merged_campaign merge_stores(const campaign_plan& plan,
                                      " != " + fingerprint + ")");
         }
         for (auto& run : result_store::load_runs(dir)) {
+            if (run.is_metrics()) {
+                // Keep the first sidecar seen per unit; values are
+                // timings, so cross-store repeats are not conflicts.
+                metrics_by_id.emplace(run.unit_id, std::move(run));
+                continue;
+            }
             if (run.failed()) {
                 // A failed attempt is bookkeeping, not a result: it never
                 // joins the merge, never conflicts, and a later success of
@@ -96,6 +103,8 @@ merged_campaign merge_stores(const campaign_plan& plan,
         }
         if (!it->second.record.valid) ++merged.invalid_runs;
         merged.runs.push_back(it->second);
+        const auto metric = metrics_by_id.find(unit.id);
+        if (metric != metrics_by_id.end()) merged.metrics.push_back(metric->second);
     }
     return merged;
 }
@@ -103,8 +112,15 @@ merged_campaign merge_stores(const campaign_plan& plan,
 void write_merged_store(const merged_campaign& merged, const campaign_spec& spec,
                         const std::string& directory) {
     result_store store(directory, spec);
+    std::unordered_map<std::string, const stored_run*> metrics_by_id;
+    for (const auto& m : merged.metrics) metrics_by_id.emplace(m.unit_id, &m);
     for (const auto& run : merged.runs) {
-        if (!store.is_complete(run.unit_id)) store.append(run);
+        if (store.is_complete(run.unit_id)) continue;
+        store.append(run);
+        // Interleave each unit's sidecar right after its result so the
+        // written store reads like a fresh worker produced it.
+        const auto metric = metrics_by_id.find(run.unit_id);
+        if (metric != metrics_by_id.end()) store.append(*metric->second);
     }
     store.flush();
 }

@@ -40,6 +40,11 @@ struct merged_campaign {
     /// Duplicate records dropped (consistent repeats across stores).
     std::size_t duplicates = 0;
     int invalid_runs = 0;
+    /// Metrics sidecar records, one per plan unit that had any, in plan
+    /// order (first store to report a unit wins — values are timings, so
+    /// duplicates are neither checked nor counted). Ignored by reports;
+    /// `campaign profile` aggregates them.
+    std::vector<stored_run> metrics;
 
     [[nodiscard]] bool complete() const { return missing.empty(); }
 };

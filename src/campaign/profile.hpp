@@ -1,0 +1,27 @@
+// Campaign cost profile: aggregates the telemetry sidecar records of a
+// store into per-(suite, tool) timing/counter tables.
+//
+// `campaign profile <store>` is to cost what `campaign report` is to
+// quality: it answers "where did this campaign spend its effort?" —
+// mapping passes, SAT propagations, VF2 nodes, per-unit CPU — from the
+// "kind":"metrics" records workers persist when run with
+// QUBIKOS_OBS=metrics. Like report, the rendering is byte-deterministic
+// for a fixed store: units aggregate in plan order, metrics sort by
+// name, and every number formats through one fixed-precision path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/plan.hpp"
+#include "campaign/store.hpp"
+
+namespace qubikos::campaign {
+
+/// Renders the profile of `runs` (a store's records, metrics sidecars
+/// included) against the plan. Stores without sidecar records render a
+/// header plus a hint to re-run with QUBIKOS_OBS=metrics.
+[[nodiscard]] std::string render_profile(const campaign_plan& plan,
+                                         const std::vector<stored_run>& runs);
+
+}  // namespace qubikos::campaign

@@ -113,4 +113,58 @@ std::string render_status(const campaign_plan& plan, const campaign_status& stat
     return out;
 }
 
+json::value status_to_json(const campaign_plan& plan, const campaign_status& status) {
+    const campaign_spec& spec = plan.spec;
+    const auto counts_json = [](const status_counts& c) {
+        json::object o;
+        o["done"] = c.done;
+        o["pending"] = c.pending;
+        o["quarantined"] = c.quarantined;
+        o["retryable"] = c.retryable;
+        o["total"] = c.total();
+        return json::value(std::move(o));
+    };
+
+    json::object doc;
+    doc["campaign"] = spec.name;
+    doc["complete"] = status.complete();
+    doc["fingerprint"] = spec_fingerprint(spec);
+    doc["mode"] = mode_name(spec.mode);
+    doc["totals"] = counts_json(status.totals);
+
+    json::array shards;
+    for (std::size_t shard = 0; shard < status.shards.size(); ++shard) {
+        json::object entry;
+        entry["counts"] = counts_json(status.shards[shard]);
+        entry["shard"] = shard;
+        shards.push_back(json::value(std::move(entry)));
+    }
+    doc["shards"] = json::value(std::move(shards));
+
+    json::array cells;
+    for (const auto& [key, c] : status.cells) {
+        const campaign_suite& suite = spec.suites[key.first];
+        json::object cell;
+        cell["arch"] = suite.arch_name;
+        cell["counts"] = counts_json(c);
+        cell["family"] = family_name(suite.family);
+        cell["suite"] = key.first;
+        cell["tool"] = key.second;
+        cells.push_back(json::value(std::move(cell)));
+    }
+    doc["cells"] = json::value(std::move(cells));
+
+    json::array quarantined;
+    for (const auto& q : status.quarantined_units) {
+        json::object entry;
+        entry["attempts"] = q.attempts;
+        entry["error"] = q.error;
+        entry["unit_id"] = q.unit_id;
+        quarantined.push_back(json::value(std::move(entry)));
+    }
+    doc["quarantined_units"] = json::value(std::move(quarantined));
+
+    return json::value(std::move(doc));
+}
+
 }  // namespace qubikos::campaign

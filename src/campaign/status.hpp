@@ -72,4 +72,11 @@ struct campaign_status {
                                         const campaign_status& status,
                                         const status_options& options = {});
 
+/// Machine-readable status (`campaign status --json`): the same probe as
+/// a JSON document with stable key order (json::object is sorted), so
+/// fleet scripts can stop scraping the text table. Includes what the
+/// table omits: every quarantined unit's recorded error, uncapped.
+[[nodiscard]] json::value status_to_json(const campaign_plan& plan,
+                                         const campaign_status& status);
+
 }  // namespace qubikos::campaign

@@ -173,6 +173,17 @@ std::vector<loaded_file> load_store_contents(const std::string& directory) {
 }  // namespace
 
 json::value run_to_json(const stored_run& run) {
+    if (run.is_metrics()) {
+        // Metrics sidecar record: a distinct kind, deliberately without
+        // the result fields so old readers can't mistake it for a run
+        // (pre-PR-7 readers throw on the missing "tool" key only if
+        // handed such a store; metrics emission is opt-in).
+        json::object o;
+        o["kind"] = "metrics";
+        o["metrics"] = run.metrics;
+        o["unit_id"] = run.unit_id;
+        return json::value(std::move(o));
+    }
     json::object o;
     o["unit_id"] = run.unit_id;
     o["tool"] = run.record.tool;
@@ -191,11 +202,28 @@ json::value run_to_json(const stored_run& run) {
     if (run.vf2_solvable >= 0) o["vf2_solvable"] = run.vf2_solvable;
     if (run.attempt > 1 || (run.failed() && run.attempt > 0)) o["attempt"] = run.attempt;
     if (!run.error.empty()) o["error"] = run.error;
+    // Router stats are emitted only when the tool reported them, so
+    // records of non-reporting tools keep the exact v1 byte layout.
+    if (run.record.has_router_stats()) {
+        o["trials_run"] = static_cast<std::int64_t>(run.record.trials_run);
+        o["trials_pruned"] = static_cast<std::int64_t>(run.record.trials_pruned);
+        o["pass_decisions"] = static_cast<std::int64_t>(run.record.pass_decisions);
+        o["arena_slots"] = static_cast<std::int64_t>(run.record.arena_slots);
+    }
     return json::value(std::move(o));
 }
 
 stored_run run_from_json(const json::value& v) {
     stored_run run;
+    if (v.contains("kind")) {
+        if (v.at("kind").as_string() != "metrics") {
+            throw std::runtime_error("campaign store: unknown record kind '" +
+                                     v.at("kind").as_string() + "'");
+        }
+        run.unit_id = v.at("unit_id").as_string();
+        run.metrics = v.at("metrics");
+        return run;
+    }
     run.unit_id = v.at("unit_id").as_string();
     run.record.tool = v.at("tool").as_string();
     run.record.designed_swaps = v.at("designed_swaps").as_int();
@@ -209,6 +237,12 @@ stored_run run_from_json(const json::value& v) {
     if (v.contains("vf2_solvable")) run.vf2_solvable = v.at("vf2_solvable").as_int();
     if (v.contains("attempt")) run.attempt = v.at("attempt").as_int();
     if (v.contains("error")) run.error = v.at("error").as_string();
+    if (v.contains("trials_run")) {
+        run.record.trials_run = static_cast<long long>(v.at("trials_run").as_number());
+        run.record.trials_pruned = static_cast<long long>(v.at("trials_pruned").as_number());
+        run.record.pass_decisions = static_cast<long long>(v.at("pass_decisions").as_number());
+        run.record.arena_slots = static_cast<long long>(v.at("arena_slots").as_number());
+    }
     return run;
 }
 
@@ -540,6 +574,7 @@ void result_store::write_head() const {
 }
 
 void result_store::note(const stored_run& run) {
+    if (run.is_metrics()) return;  // sidecar: never completes a unit
     fold_unit_status(statuses_[run.unit_id], run);
     if (!run.failed()) completed_.insert(run.unit_id);
 }
@@ -599,6 +634,7 @@ std::string result_store::load_meta_fingerprint(const std::string& directory) {
 }
 
 void fold_unit_status(unit_status& status, const stored_run& run) {
+    if (run.is_metrics()) return;  // sidecar: neither success nor attempt
     if (run.failed()) {
         status.failed_attempts = std::max(status.failed_attempts + 1, run.attempt);
         status.last_error = run.error;

@@ -43,6 +43,7 @@
 
 #include "campaign/spec.hpp"
 #include "eval/metrics.hpp"
+#include "util/json.hpp"
 
 namespace qubikos::campaign {
 
@@ -74,8 +75,16 @@ struct stored_run {
     int attempt = 0;
     /// Nonempty = this is a failed attempt, not a result.
     std::string error;
+    /// Non-null = this is a *metrics sidecar* record ("kind":"metrics"):
+    /// the per-unit telemetry counters the worker captured around the
+    /// unit's execution (QUBIKOS_OBS=metrics). It is not a result: it
+    /// never marks a unit complete, never counts as an attempt, is
+    /// excluded from merge's determinism checks (its values are timings)
+    /// and from reports/status — only `campaign profile` reads it.
+    json::value metrics;
 
     [[nodiscard]] bool failed() const { return !error.empty(); }
+    [[nodiscard]] bool is_metrics() const { return !metrics.is_null(); }
 };
 
 /// What a store knows about one unit ID after replaying its records.

@@ -17,6 +17,8 @@
 #include "eval/harness.hpp"
 #include "exact/olsq.hpp"
 #include "graph/vf2.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "tools/context.hpp"
 #include "tools/registry.hpp"
 #include "util/stopwatch.hpp"
@@ -386,6 +388,9 @@ worker_report run_campaign_shard(const campaign_plan& plan, const std::string& s
 
     std::vector<pending_unit> batch;
     std::vector<stored_run> results;
+    const bool record_metrics = options.record_metrics < 0 ? obs::metrics_records()
+                                                           : options.record_metrics > 0;
+    std::vector<json::value> unit_metrics;
     while (!queue.empty() && (options.max_units == 0 || report.executed < options.max_units)) {
         std::size_t width = std::min(options.batch_size, queue.size());
         if (options.max_units != 0) {
@@ -395,12 +400,24 @@ worker_report run_campaign_shard(const campaign_plan& plan, const std::string& s
                      queue.begin() + static_cast<std::ptrdiff_t>(width));
         queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(width));
         results.assign(width, {});
+        unit_metrics.assign(width, {});
         // execute_captured never throws, so one poisoned unit cannot
         // abort the parallel batch (or the shard).
         thread_pool::shared().parallel_for_slots(0, width, workers, [&](std::size_t i,
                                                                        std::size_t) {
-            results[i] =
-                executor.execute_captured(plan.units[batch[i].unit_index], batch[i].attempts + 1);
+            // The unit runs serially on the claiming thread, so a
+            // thread-local counter delta around it attributes its cost
+            // (the unit's own timer included — it closes before the
+            // delta is read).
+            static const obs::timer_id unit_timer = obs::timer("campaign.unit");
+            const obs::thread_delta delta;
+            {
+                const obs::scoped_timer timing(unit_timer);
+                const obs::trace_span span("campaign.unit");
+                results[i] = executor.execute_captured(plan.units[batch[i].unit_index],
+                                                       batch[i].attempts + 1);
+            }
+            if (record_metrics) unit_metrics[i] = delta.to_json();
         });
         // Append in unit order and make the whole batch durable at once.
         for (std::size_t i = 0; i < width; ++i) {
@@ -416,6 +433,13 @@ worker_report run_campaign_shard(const campaign_plan& plan, const std::string& s
                 ++report.invalid_runs;
             }
             store.append(run);
+            if (record_metrics && !run.failed() && !unit_metrics[i].is_null() &&
+                !unit_metrics[i].as_object().empty()) {
+                stored_run metric;
+                metric.unit_id = run.unit_id;
+                metric.metrics = unit_metrics[i];
+                store.append(metric);
+            }
             if (options.verbose) {
                 if (run.failed()) {
                     std::printf("  [%s] %s attempt=%d FAILED: %s\n", run.record.tool.c_str(),

@@ -61,6 +61,11 @@ struct worker_options {
     bool retry_quarantined = false;
     /// Per-unit progress lines on stdout.
     bool verbose = false;
+    /// Persist one telemetry sidecar record ("kind":"metrics", the
+    /// counters the executing thread accumulated around the unit) after
+    /// each *successful* unit. -1 = follow the environment
+    /// (QUBIKOS_OBS=metrics|full), 0 = off, 1 = on.
+    int record_metrics = -1;
 };
 
 struct worker_report {

@@ -78,8 +78,21 @@ run_record run_tool_record(const tool& t, const core::benchmark_instance& instan
     record.tool = t.name;
     record.designed_swaps = instance.optimal_swaps;
     cpu_stopwatch timer;
-    const routed_circuit routed = t.run(instance.logical, device.coupling);
-    record.seconds = timer.seconds();
+    routed_circuit routed;
+    if (t.run_stats) {
+        tool_run_stats stats;
+        routed = t.run_stats(instance.logical, device.coupling, stats);
+        record.seconds = timer.seconds();
+        if (stats.present) {
+            record.trials_run = stats.trials_run;
+            record.trials_pruned = stats.trials_pruned;
+            record.pass_decisions = stats.pass_decisions;
+            record.arena_slots = stats.arena_slots;
+        }
+    } else {
+        routed = t.run(instance.logical, device.coupling);
+        record.seconds = timer.seconds();
+    }
     const auto report = validate_routed(instance.logical, routed, device.coupling);
     record.valid = report.valid;
     record.measured_swaps = report.swap_count;

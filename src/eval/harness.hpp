@@ -26,10 +26,25 @@ class routing_context;  // tools/context.hpp (tools/ sits above eval/)
 
 namespace qubikos::eval {
 
+/// Router statistics a tool may report alongside its routed circuit
+/// (see tool::run_stats). Fields mirror run_record's router stats.
+struct tool_run_stats {
+    bool present = false;
+    long long trials_run = 0;
+    long long trials_pruned = 0;
+    long long pass_decisions = 0;
+    long long arena_slots = 0;
+};
+
 /// A named QLS tool: circuit + coupling graph -> routed circuit.
+/// Tools that can report router-internal statistics additionally set
+/// `run_stats`; the harness prefers it when present (identical routing —
+/// same options, same seed — just with the stats surfaced instead of
+/// dropped). Aggregate initialization `{"name", fn}` stays valid.
 struct tool {
     std::string name;
     std::function<routed_circuit(const circuit&, const graph&)> run;
+    std::function<routed_circuit(const circuit&, const graph&, tool_run_stats&)> run_stats;
 };
 
 /// The paper's four tools with knobs. `sabre.trials` is the LightSABRE

@@ -22,6 +22,21 @@ struct run_record {
     /// Depth overhead: routed circuit depth / logical circuit depth
     /// (>= 1 in practice; swaps only add depth). 0 when not recorded.
     double depth_ratio = 0.0;
+
+    /// Router-internal statistics for tools that report them (today the
+    /// SABRE family via tool::run_stats); -1 = not reported. Serialized
+    /// by campaign stores only when present, so records of non-reporting
+    /// tools keep the v1 byte layout. Note pass_decisions is
+    /// deterministic for serial tools but thread-count-dependent in
+    /// portfolio mode (incumbent cut timing), so merge never treats
+    /// these as identity-defining fields.
+    long long trials_run = -1;
+    long long trials_pruned = -1;
+    long long pass_decisions = -1;
+    long long arena_slots = -1;
+
+    /// Did the tool report router stats into this record?
+    [[nodiscard]] bool has_router_stats() const { return trials_run >= 0; }
 };
 
 /// Aggregate for one (tool, designed swap count) cell of Fig. 4.

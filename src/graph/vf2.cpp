@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace qubikos {
 
 namespace {
@@ -171,7 +174,17 @@ private:
 
 vf2_result find_subgraph_monomorphism(const graph& pattern, const graph& target,
                                       const vf2_options& options) {
-    return matcher(pattern, target, options).run();
+    const obs::trace_span span("vf2.match");
+    const vf2_result result = matcher(pattern, target, options).run();
+    if (obs::enabled()) {
+        static const obs::metric_id calls = obs::counter("vf2.calls");
+        static const obs::metric_id nodes = obs::counter("vf2.nodes_explored");
+        static const obs::metric_id limit_hits = obs::counter("vf2.limit_hits");
+        obs::add(calls);
+        obs::add(nodes, result.nodes_explored);
+        obs::add(limit_hits, result.limit_hit ? 1 : 0);
+    }
+    return result;
 }
 
 bool is_subgraph_monomorphic(const graph& pattern, const graph& target,

@@ -10,11 +10,39 @@
 #include <vector>
 
 #include "circuit/dag.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "router/common.hpp"
 
 namespace qubikos::router {
 
 namespace {
+
+/// Writes the in-progress stats through the caller's pointer (and into
+/// the telemetry registry) on *every* exit path, including exceptions.
+/// Previously stats were only assigned after emit.finish(), so an
+/// early-exiting route left the caller's struct untouched and profile
+/// tables showed zero-cost units.
+struct qmap_stats_sink {
+    qmap_stats* out;
+    const qmap_stats& local;
+
+    ~qmap_stats_sink() {
+        if (out != nullptr) *out = local;
+        if (obs::enabled()) {
+            static const obs::metric_id routes = obs::counter("qmap.routes");
+            static const obs::metric_id layers = obs::counter("qmap.layers");
+            static const obs::metric_id astar = obs::counter("qmap.astar_solved_layers");
+            static const obs::metric_id fallback = obs::counter("qmap.fallback_layers");
+            static const obs::metric_id expanded = obs::counter("qmap.expanded_nodes");
+            obs::add(routes);
+            obs::add(layers, local.layers);
+            obs::add(astar, local.astar_solved_layers);
+            obs::add(fallback, local.fallback_layers);
+            obs::add(expanded, local.expanded_nodes);
+        }
+    }
+};
 
 /// Packs a program->physical assignment into a hashable string key.
 std::string pack_mapping(const mapping& m) {
@@ -252,7 +280,9 @@ routed_circuit route_qmap_with_initial(const circuit& logical, const graph& coup
     mapping current = initial;
     emission_buffer emit(logical, dag, coupling.num_vertices());
     dag_frontier frontier(dag);
+    const obs::trace_span span("qmap.route");
     qmap_stats local_stats;
+    const qmap_stats_sink sink{stats, local_stats};
     local_stats.layers = static_cast<std::size_t>(num_layers);
 
     for (int layer = 0; layer < num_layers; ++layer) {
@@ -306,7 +336,6 @@ routed_circuit route_qmap_with_initial(const circuit& logical, const graph& coup
     }
 
     emit.finish(current);
-    if (stats != nullptr) *stats = local_stats;
 
     routed_circuit out;
     out.initial = initial;

@@ -9,6 +9,8 @@
 #include <utility>
 
 #include "circuit/dag.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "router/common.hpp"
 #include "util/restart.hpp"
 #include "util/rng.hpp"
@@ -19,6 +21,28 @@ namespace qubikos::router {
 namespace {
 
 constexpr std::size_t kNoLimit = std::numeric_limits<std::size_t>::max();
+
+/// Publishes one route's sabre_stats to the telemetry registry. Called
+/// once per route at the call boundary — never from the trial hot loop —
+/// so enabling observability adds a handful of counter writes per route.
+void publish_sabre_stats(const sabre_stats& s) {
+    static const obs::metric_id routes = obs::counter("sabre.routes");
+    static const obs::metric_id trials_run = obs::counter("sabre.trials_run");
+    static const obs::metric_id trials_pruned = obs::counter("sabre.trials_pruned");
+    static const obs::metric_id trials_skipped = obs::counter("sabre.trials_skipped");
+    static const obs::metric_id pass_decisions = obs::counter("sabre.pass_decisions");
+    static const obs::metric_id force_routes = obs::counter("sabre.force_routes");
+    static const obs::metric_id waves = obs::counter("sabre.waves");
+    static const obs::metric_id swaps = obs::counter("sabre.best_swaps");
+    obs::add(routes);
+    obs::add(trials_run, s.trials_run);
+    obs::add(trials_pruned, s.trials_pruned);
+    obs::add(trials_skipped, s.trials_skipped);
+    obs::add(pass_decisions, s.pass_decisions);
+    obs::add(force_routes, s.force_routes);
+    obs::add(waves, s.waves);
+    obs::add(swaps, s.best_swaps);
+}
 
 /// Every buffer one routing pass touches, bundled for reuse: a trial
 /// arena holds one of these and resets it per pass, so steady-state
@@ -476,6 +500,7 @@ routed_circuit route_sabre_portfolio(const trial_context& ctx, sabre_stats* stat
             wave_index == 0 ? kNoLimit
                             : wave_budget(budget_base, wave_index, options.portfolio_budget_growth);
         const std::size_t wave_end = std::min(scheduled + wave_size, trials);
+        const obs::trace_span wave_span("sabre.wave");
         thread_pool::shared().parallel_for_slots(
             scheduled, wave_end, width,
             [&](std::size_t trial, std::size_t slot) {
@@ -543,6 +568,9 @@ routed_circuit route_sabre_with_initial(const circuit& logical, const graph& cou
                                         const distance_matrix& dist, const mapping& initial,
                                         const sabre_options& options,
                                         const sabre_observer& observer, sabre_stats* stats) {
+    const obs::trace_span span("sabre.route");
+    sabre_stats local_stats;
+    if (stats == nullptr && obs::enabled()) stats = &local_stats;
     const gate_dag dag(logical);
     rng random(options.seed);
 
@@ -566,6 +594,7 @@ routed_circuit route_sabre_with_initial(const circuit& logical, const graph& cou
         stats->trials_run = 1;
         stats->pass_decisions = decisions;
         stats->arena_slots = 1;
+        if (obs::enabled()) publish_sabre_stats(*stats);
     }
     return out;
 }
@@ -599,12 +628,21 @@ routed_circuit route_sabre(const circuit& logical, const graph& coupling,
                            const distance_matrix& dist, const sabre_options& options,
                            sabre_stats* stats) {
     validate_options(options);
+    const obs::trace_span span("sabre.route");
+    // Publish stats even when the caller passed none: route into a local
+    // so the telemetry layer sees every route's totals.
+    sabre_stats local_stats;
+    if (stats == nullptr && obs::enabled()) stats = &local_stats;
     const gate_dag dag(logical);
     const circuit reversed_logical = reversed(logical);
     const gate_dag reverse_dag(reversed_logical);
     const trial_context ctx{logical, coupling, dist, dag, reverse_dag, options};
 
-    if (options.portfolio) return route_sabre_portfolio(ctx, stats);
+    if (options.portfolio) {
+        routed_circuit out = route_sabre_portfolio(ctx, stats);
+        if (stats != nullptr && obs::enabled()) publish_sabre_stats(*stats);
+        return out;
+    }
 
     // Trials draw from independent salted RNG streams and share only
     // read-only state, so they are embarrassingly parallel: each slot of
@@ -631,7 +669,9 @@ routed_circuit route_sabre(const circuit& logical, const graph& coupling,
         },
         /*chunk=*/1);
 
-    return reduce_slots(arenas, stats, trials);
+    routed_circuit out = reduce_slots(arenas, stats, trials);
+    if (stats != nullptr && obs::enabled()) publish_sabre_stats(*stats);
+    return out;
 }
 
 }  // namespace qubikos::router

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "util/restart.hpp"
 
 namespace qubikos::sat {
@@ -11,6 +13,32 @@ namespace qubikos::sat {
 namespace {
 
 constexpr std::uint64_t kRestartBase = 100;
+
+/// Publishes the statistics deltas of one solve() call on every exit
+/// path (sat/unsat/unknown/throw) — a scope guard, so the hot CDCL loop
+/// keeps incrementing only the plain stats_ fields.
+struct obs_stats_guard {
+    const solver::statistics& live;
+    solver::statistics base;
+
+    explicit obs_stats_guard(const solver::statistics& s) : live(s), base(s) {}
+
+    ~obs_stats_guard() {
+        if (!obs::enabled()) return;
+        static const obs::metric_id solves = obs::counter("sat.solves");
+        static const obs::metric_id propagations = obs::counter("sat.propagations");
+        static const obs::metric_id conflicts = obs::counter("sat.conflicts");
+        static const obs::metric_id decisions = obs::counter("sat.decisions");
+        static const obs::metric_id restarts = obs::counter("sat.restarts");
+        static const obs::metric_id learned = obs::counter("sat.learned_clauses");
+        obs::add(solves);
+        obs::add(propagations, live.propagations - base.propagations);
+        obs::add(conflicts, live.conflicts - base.conflicts);
+        obs::add(decisions, live.decisions - base.decisions);
+        obs::add(restarts, live.restarts - base.restarts);
+        obs::add(learned, live.learned_clauses - base.learned_clauses);
+    }
+};
 
 }  // namespace
 
@@ -315,6 +343,8 @@ void solver::reduce_db() {
 }
 
 status solver::solve(const std::vector<lit>& assumptions) {
+    const obs::trace_span span("sat.solve");
+    const obs_stats_guard publish(stats_);
     if (!ok_) return status::unsat;
     backtrack(0);
     if (propagate() != kNoReason) {

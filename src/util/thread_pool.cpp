@@ -2,10 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace qubikos {
+
+namespace {
+
+obs::metric_id pool_chunks_metric() {
+    static const obs::metric_id id = obs::counter("pool.chunks_claimed");
+    return id;
+}
+
+obs::metric_id pool_jobs_metric() {
+    static const obs::metric_id id = obs::counter("pool.jobs");
+    return id;
+}
+
+obs::timer_id pool_idle_metric() {
+    static const obs::timer_id id = obs::timer("pool.idle");
+    return id;
+}
+
+std::uint64_t mono_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+}  // namespace
 
 /// One parallel_for invocation: a shared chunked index cursor plus
 /// participation bookkeeping. Participants pull chunks with fetch_add
@@ -39,6 +69,7 @@ struct thread_pool::job {
         while (!cancelled.load(std::memory_order_relaxed)) {
             const std::size_t start = next.fetch_add(chunk, std::memory_order_relaxed);
             if (start >= end) return;
+            obs::add(pool_chunks_metric());
             const std::size_t stop = std::min(end, start + chunk);
             for (std::size_t i = start; i < stop; ++i) {
                 // Cancellation is checked before every index so a failed
@@ -95,6 +126,10 @@ void thread_pool::worker_loop() {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         job* j = nullptr;
+        // Time spent blocked waiting for work; published per wakeup so
+        // `pool.idle.ns / pool.idle.calls` reads as mean wait.
+        const bool timed = obs::enabled();
+        const std::uint64_t wait_start = timed ? mono_ns() : 0;
         work_ready_.wait(lock, [&] {
             if (stop_) return true;
             // Drop stale entries while scanning so fully claimed or
@@ -109,6 +144,11 @@ void thread_pool::worker_loop() {
             }
             return false;
         });
+        if (timed) {
+            const obs::timer_id idle = pool_idle_metric();
+            obs::add(idle.ns, mono_ns() - wait_start);
+            obs::add(idle.calls, 1);
+        }
         if (stop_) return;
         const std::size_t slot = j->joined++;
         ++j->active_workers;
@@ -124,6 +164,8 @@ void thread_pool::worker_loop() {
 }
 
 void thread_pool::run_job(job& j) {
+    obs::add(pool_jobs_metric());
+    const obs::trace_span span("pool.job");
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         j.joined = 1;  // the caller takes slot 0
