@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Checks-equivalence drill (run by CI, useful locally).
+#
+# The contract macros in src/util/check.hpp promise to be pure observers:
+# enabling them may only add verification, never change a routed circuit,
+# a stored record, or a report byte. This drill runs the same mini
+# campaign through two builds of the same build type — one configured
+# with -DQUBIKOS_ENABLE_CHECKS=ON, one without — and requires the
+# rendered reports to be byte-identical.
+#
+# Usage: checks_equivalence.sh <build-dir-with-checks> <build-dir-without>
+set -euo pipefail
+
+CHECKED_BUILD=${1:?usage: checks_equivalence.sh <build-with-checks> <build-without>}
+PLAIN_BUILD=${2:?usage: checks_equivalence.sh <build-with-checks> <build-without>}
+
+for build in "$CHECKED_BUILD" "$PLAIN_BUILD"; do
+  if [[ ! -x "$build/example_qubikos_cli" ]]; then
+    echo "error: $build/example_qubikos_cli not found" >&2
+    exit 1
+  fi
+done
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$CHECKED_BUILD/example_qubikos_cli" campaign init "$WORK/spec.json"
+
+echo "--- campaign with contract checks ON"
+"$CHECKED_BUILD/example_qubikos_cli" campaign run "$WORK/spec.json" "$WORK/checked_store"
+"$CHECKED_BUILD/example_qubikos_cli" campaign report "$WORK/spec.json" "$WORK/checked_store" \
+  > "$WORK/checked_report.txt"
+
+echo "--- campaign with contract checks OFF"
+"$PLAIN_BUILD/example_qubikos_cli" campaign run "$WORK/spec.json" "$WORK/plain_store"
+"$PLAIN_BUILD/example_qubikos_cli" campaign report "$WORK/spec.json" "$WORK/plain_store" \
+  > "$WORK/plain_report.txt"
+
+diff "$WORK/checked_report.txt" "$WORK/plain_report.txt"
+echo "OK: report bytes identical with contract checks on and off"

@@ -1,0 +1,20 @@
+// Fixture: DET-001 must fire on iteration over unordered containers —
+// both the range-for form and an explicit begin() iterator walk.
+// This file is lint input only; it is never compiled.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int sum_values() {
+    std::unordered_map<std::string, int> counts;
+    int total = 0;
+    for (const auto& [k, v] : counts) total += v;  // expect: DET-001
+    return total;
+}
+
+int count_elements() {
+    std::unordered_set<int> seen;
+    int n = 0;
+    for (auto it = seen.begin(); it != seen.end(); ++it) ++n;  // expect: DET-001
+    return n;
+}

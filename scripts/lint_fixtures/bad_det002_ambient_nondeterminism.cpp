@@ -1,0 +1,17 @@
+// Fixture: DET-002 must fire on every ambient-nondeterminism source:
+// libc rand, std::random_device, wall-clock seeds, and chrono clocks
+// (this file is not under src/obs/ or src/util/, so clocks are banned).
+// This file is lint input only; it is never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long noise() {
+    std::srand(42);                                       // expect: DET-002
+    const int a = std::rand();                            // expect: DET-002
+    std::random_device rd;                                // expect: DET-002
+    const long t = std::time(nullptr);                    // expect: DET-002
+    const auto now = std::chrono::steady_clock::now();    // expect: DET-002
+    return a + t + now.time_since_epoch().count();
+}

@@ -1,0 +1,21 @@
+// Fixture: DET-003 must fire on address-dependent ordering and hashing —
+// pointer-keyed ordered containers, std::hash over pointers, and
+// pointer-to-integer casts.
+// This file is lint input only; it is never compiled.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+struct node {};
+
+std::map<node*, int> order_by_address;   // expect: DET-003
+std::set<const node*> pointer_set;       // expect: DET-003
+
+std::size_t hash_of(node* p) {
+    return std::hash<node*>{}(p);        // expect: DET-003
+}
+
+std::uint64_t key_of(node* p) {
+    return reinterpret_cast<std::uintptr_t>(p);  // expect: DET-003
+}

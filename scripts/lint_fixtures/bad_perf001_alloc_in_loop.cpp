@@ -1,0 +1,23 @@
+// qubikos-lint: hot-path
+// Fixture: PERF-001 must fire on allocation inside loops when a file is
+// marked hot-path — container construction in braced bodies, braceless
+// bodies on the loop-head line, and raw new.
+// This file is lint input only; it is never compiled.
+#include <string>
+#include <vector>
+
+int hot_loop(int n) {
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+        std::vector<int> scratch(16);  // expect: PERF-001
+        total += static_cast<int>(scratch.size()) + i;
+    }
+    int j = 0;
+    while (j < n) {
+        std::string name = std::to_string(j);  // expect: PERF-001
+        total += static_cast<int>(name.size());
+        ++j;
+    }
+    for (int i = 0; i < n; ++i) total += *(new int(i));  // expect: PERF-001
+    return total;
+}

@@ -1,0 +1,17 @@
+// Fixture: suppression hygiene. An allow() without a reason is LINT-001
+// and does NOT silence the finding it sits above; an allow() that matches
+// nothing is a stale suppression, LINT-002.
+// This file is lint input only; it is never compiled.
+#include <unordered_set>
+
+int reasonless(const std::unordered_set<int>& seen) {
+    int total = 0;
+    // qubikos-lint: allow(DET-001)                      // expect: LINT-001
+    for (const int v : seen) total += v;                 // expect: DET-001
+    return total;
+}
+
+int stale() {
+    // qubikos-lint: allow(DET-001) nothing here iterates a hash table  // expect: LINT-002
+    return 0;
+}

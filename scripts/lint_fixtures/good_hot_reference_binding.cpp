@@ -1,0 +1,23 @@
+// qubikos-lint: hot-path
+// Fixture: reference bindings to preallocated scratch inside a hot loop do
+// not allocate and must not trip PERF-001 — this is exactly the hoisted
+// shape the rule pushes code toward. Must produce zero findings.
+// This file is lint input only; it is never compiled.
+#include <string>
+#include <vector>
+
+struct scratch_space {
+    std::vector<int> extended;
+    std::string label;
+};
+
+int reuse(scratch_space& scratch, int n) {
+    int total = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::vector<int>& extended = scratch.extended;
+        std::string& label = scratch.label;
+        label.clear();
+        total += static_cast<int>(extended.size() + label.size());
+    }
+    return total;
+}

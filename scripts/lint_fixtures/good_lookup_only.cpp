@@ -1,0 +1,23 @@
+// Fixture: the sanctioned shape — unordered containers for O(1)
+// membership/lookup, iteration only over ordered or caller-ordered
+// sequences. Must produce zero findings.
+// This file is lint input only; it is never compiled.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int render(const std::vector<std::string>& plan) {
+    std::unordered_map<std::string, int> index;
+    std::unordered_set<std::string> done;
+    std::map<std::string, int> ordered;
+    int total = 0;
+    for (const auto& id : plan) {
+        const auto it = index.find(id);
+        if (it != index.end()) total += it->second;
+        if (done.count(id) != 0) ++total;
+    }
+    for (const auto& [k, v] : ordered) total += v + static_cast<int>(k.size());
+    return total;
+}

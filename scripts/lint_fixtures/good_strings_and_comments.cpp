@@ -1,0 +1,13 @@
+// Fixture: rule trigger words inside comments and string literals must not
+// fire — the engine strips both before matching. Must produce zero findings.
+// std::random_device mentioned in prose is fine; so is rand() or
+// steady_clock, and so is this: for (auto x : some_unordered_thing).
+// This file is lint input only; it is never compiled.
+#include <string>
+
+std::string label() {
+    std::string s = "docs: avoid std::unordered_map iteration, rand(), "
+                    "steady_clock, and reinterpret_cast<std::uintptr_t>";
+    /* std::srand(1); time(nullptr); — dead code in a block comment */
+    return s;
+}

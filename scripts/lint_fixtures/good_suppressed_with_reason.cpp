@@ -1,0 +1,13 @@
+// Fixture: a justified allow() on the preceding line silences the finding
+// and is counted against the suppression budget. Must produce zero
+// unsuppressed findings and exactly one counted suppression.
+// This file is lint input only; it is never compiled.
+#include <algorithm>
+#include <unordered_set>
+
+int max_attempt(const std::unordered_set<int>& attempts) {
+    int best = 0;
+    // qubikos-lint: allow(DET-001) max over the set is order-independent
+    for (const int a : attempts) best = std::max(best, a);
+    return best;
+}

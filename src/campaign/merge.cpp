@@ -39,6 +39,7 @@ merged_campaign merge_stores(const campaign_plan& plan,
 
         [[nodiscard]] int attempt_count() const {
             int max_attempt = 0;
+            // qubikos-lint: allow(DET-001) max over the set is order-independent
             for (const int a : attempts) max_attempt = std::max(max_attempt, a);
             return std::max(max_attempt, static_cast<int>(attempts.size()));
         }

@@ -1,8 +1,29 @@
 #include "campaign/plan.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace qubikos::campaign {
+
+namespace {
+
+/// Unit IDs are the resume keys of every store, so a plan whose IDs
+/// collide (or drifted empty) would silently merge distinct work units.
+/// O(n log n) scan — contract material, not a user-facing validation.
+[[maybe_unused]] bool unit_ids_stable(const campaign_plan& plan) {
+    std::vector<std::string> ids;
+    ids.reserve(plan.units.size());
+    for (const auto& unit : plan.units) {
+        if (unit.id.empty()) return false;
+        ids.push_back(unit.id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return std::adjacent_find(ids.begin(), ids.end()) == ids.end();
+}
+
+}  // namespace
 
 campaign_plan expand_plan(const campaign_spec& spec) {
     if (spec.suites.empty()) throw std::invalid_argument("campaign: spec has no suites");
@@ -46,9 +67,20 @@ campaign_plan expand_plan(const campaign_spec& spec) {
                 const std::uint64_t seed = suite.base_seed + instance_index;
                 for (const auto& tool : tools) {
                     work_unit unit;
-                    unit.id = "u" + std::to_string(suite_index) + ":" + suite.arch_name + ":" +
-                              family_tag + sweep_letter + std::to_string(sweep) + ":i" +
-                              std::to_string(i) + ":seed" + std::to_string(seed) + ":" + tool;
+                    unit.id = "u";
+                    unit.id += std::to_string(suite_index);
+                    unit.id += ':';
+                    unit.id += suite.arch_name;
+                    unit.id += ':';
+                    unit.id += family_tag;
+                    unit.id += sweep_letter;
+                    unit.id += std::to_string(sweep);
+                    unit.id += ":i";
+                    unit.id += std::to_string(i);
+                    unit.id += ":seed";
+                    unit.id += std::to_string(seed);
+                    unit.id += ':';
+                    unit.id += tool;
                     unit.suite_index = suite_index;
                     unit.instance_index = instance_index;
                     unit.tool = tool;
@@ -63,6 +95,7 @@ campaign_plan expand_plan(const campaign_spec& spec) {
             }
         }
     }
+    QUBIKOS_DCHECK(unit_ids_stable(plan));
     return plan;
 }
 

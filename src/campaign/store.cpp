@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "util/check.hpp"
+
 #if defined(_WIN32)
 #include <io.h>
 #else
@@ -76,6 +78,24 @@ std::size_t parse_runs(const std::string& content, const std::string& path,
         offset = next;
     }
     return valid_end;
+}
+
+/// Manifest the writer is about to publish: every sealed entry must be
+/// one of this writer's own segments, strictly before the open seq, with
+/// no duplicate names. Contract-scan material — a head violating this
+/// would poison every later open, sync and merge of the store.
+[[maybe_unused]] bool manifest_consistent(const std::vector<sealed_segment>& sealed, int writer,
+                                          long open_seq) {
+    for (std::size_t i = 0; i < sealed.size(); ++i) {
+        int seg_writer = 0;
+        long seg_seq = 0;
+        if (!parse_segment_file_name(sealed[i].file, seg_writer, seg_seq)) return false;
+        if (seg_writer != writer || seg_seq >= open_seq) return false;
+        for (std::size_t j = i + 1; j < sealed.size(); ++j) {
+            if (sealed[j].file == sealed[i].file) return false;
+        }
+    }
+    return true;
 }
 
 /// All digits (and nonempty)?
@@ -539,6 +559,9 @@ result_store::~result_store() {
 
 void result_store::open_segment(long seq, std::size_t resume_bytes, std::uint64_t resume_hash,
                                 bool needs_newline) {
+    // A fresh segment starts from the FNV offset basis; only a reopened
+    // torn tail may carry bytes (and then must carry their hash).
+    QUBIKOS_ASSERT(resume_bytes > 0 || resume_hash == fnv_offset);
     open_seq_ = seq;
     runs_path_ =
         (std::filesystem::path(directory_) / segment_file_name(writer_, seq)).string();
@@ -552,6 +575,7 @@ void result_store::open_segment(long seq, std::size_t resume_bytes, std::uint64_
 }
 
 void result_store::seal_and_rotate() {
+    QUBIKOS_ASSERT(file_ != nullptr && !legacy_mode_);
     std::fclose(file_);
     file_ = nullptr;
     sealed_.push_back(
@@ -565,6 +589,10 @@ void result_store::seal_and_rotate() {
 }
 
 void result_store::write_head() const {
+    QUBIKOS_CHECK_MSG(manifest_consistent(sealed_, writer_, open_seq_),
+                      "writer " << writer_ << " about to publish a head manifest whose sealed "
+                                << "list disagrees with its own segments (open seq " << open_seq_
+                                << ", " << sealed_.size() << " sealed)");
     writer_head head;
     head.writer = writer_;
     head.open_seq = open_seq_;

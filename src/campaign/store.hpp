@@ -197,7 +197,7 @@ public:
     /// Unit IDs with a *successful* record (failed attempts don't count).
     [[nodiscard]] const std::unordered_set<std::string>& completed() const { return completed_; }
     [[nodiscard]] bool is_complete(const std::string& unit_id) const {
-        return completed_.count(unit_id) > 0;
+        return completed_.contains(unit_id);
     }
     /// Per-unit success/attempt bookkeeping (only units with records).
     [[nodiscard]] const std::unordered_map<std::string, unit_status>& statuses() const {

@@ -86,9 +86,17 @@ gate gate::two(gate_kind kind, int q0, int q1) {
 
 std::string gate::str() const {
     std::string out = gate_name(kind);
-    if (is_rotation_kind(kind)) out += "(" + std::to_string(angle) + ")";
-    out += " q" + std::to_string(q0);
-    if (is_two_qubit()) out += ", q" + std::to_string(q1);
+    if (is_rotation_kind(kind)) {
+        out += '(';
+        out += std::to_string(angle);
+        out += ')';
+    }
+    out += " q";
+    out += std::to_string(q0);
+    if (is_two_qubit()) {
+        out += ", q";
+        out += std::to_string(q1);
+    }
     return out;
 }
 

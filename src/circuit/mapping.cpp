@@ -72,6 +72,24 @@ int mapping::program_at(int p) const {
     return p2q_[static_cast<std::size_t>(p)];
 }
 
+bool mapping::is_consistent() const {
+    const int programs = num_program();
+    const int physicals = num_physical();
+    if (programs > physicals) return false;
+    for (int q = 0; q < programs; ++q) {
+        const int p = q2p_[static_cast<std::size_t>(q)];
+        if (p < 0 || p >= physicals) return false;
+        if (p2q_[static_cast<std::size_t>(p)] != q) return false;
+    }
+    for (int p = 0; p < physicals; ++p) {
+        const int q = p2q_[static_cast<std::size_t>(p)];
+        if (q == -1) continue;
+        if (q < 0 || q >= programs) return false;
+        if (q2p_[static_cast<std::size_t>(q)] != p) return false;
+    }
+    return true;
+}
+
 void mapping::swap_physical(int p1, int p2) {
     if (p1 < 0 || p2 < 0 || p1 >= num_physical() || p2 >= num_physical()) {
         throw std::out_of_range("mapping::swap_physical: bad qubit");

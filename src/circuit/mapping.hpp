@@ -46,6 +46,12 @@ public:
     /// The same mapping expressed as program->physical vector.
     [[nodiscard]] const std::vector<int>& program_to_physical() const { return q2p_; }
 
+    /// Full-structure bijectivity scan: every program qubit sits on a
+    /// distinct in-range physical qubit and the inverse array agrees.
+    /// O(num_physical) — contract-check material (QUBIKOS_DCHECK), not
+    /// hot-path material.
+    [[nodiscard]] bool is_consistent() const;
+
     friend bool operator==(const mapping&, const mapping&) = default;
 
 private:

@@ -48,7 +48,7 @@ json::value instance_metadata(const benchmark_instance& instance) {
         s["special_gate_index"] = instance.sections.empty()
                                       ? json::value(0)
                                       : json::value(section.special_gate_index);
-        sections.push_back(json::object(std::move(s)));
+        sections.push_back(json::value(std::move(s)));
     }
     meta["sections"] = std::move(sections);
     return json::value(std::move(meta));

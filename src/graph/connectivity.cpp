@@ -111,7 +111,7 @@ std::vector<edge> connect_components(const graph& allowed, const std::vector<edg
             for (const int v : allowed.neighbors(u)) {
                 if (parent[static_cast<std::size_t>(v)] != -2) continue;
                 parent[static_cast<std::size_t>(v)] = u;
-                if (wanted_roots.count(components.find(v)) > 0) {
+                if (wanted_roots.contains(components.find(v))) {
                     hit = v;
                     break;
                 }

@@ -52,7 +52,7 @@ bool graph::add_edge_if_absent(int u, int v) {
 
 bool graph::has_edge(int u, int v) const {
     if (u < 0 || v < 0 || u >= num_vertices() || v >= num_vertices() || u == v) return false;
-    return edge_set_.count(key(u, v)) > 0;
+    return edge_set_.contains(key(u, v));
 }
 
 int graph::degree(int v) const {

@@ -1,3 +1,4 @@
+// qubikos-lint: hot-path — dag_frontier/score kernels run once per gate per trial.
 #include "router/common.hpp"
 
 #include <algorithm>

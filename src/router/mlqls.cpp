@@ -133,8 +133,11 @@ std::vector<int> place_coarse(const weighted_graph& g, const graph& coupling,
                 best_cost = score;
             }
         }
+        // best == -1 only when the coupling graph has fewer qubits than the
+        // (coarse) interaction graph has vertices; leave the vertex unplaced
+        // rather than scribble at used[-1].
         position[static_cast<std::size_t>(v)] = best;
-        used[static_cast<std::size_t>(best)] = 1;
+        if (best >= 0) used[static_cast<std::size_t>(best)] = 1;
     }
     return position;
 }
@@ -217,9 +220,9 @@ std::vector<int> multilevel_placement(const circuit& logical, const graph& coupl
             const int cv = coarse_of[static_cast<std::size_t>(v)];
             if (first_of[static_cast<std::size_t>(cv)] == -1) {
                 first_of[static_cast<std::size_t>(cv)] = v;
-                fine_position[static_cast<std::size_t>(v)] =
-                    position[static_cast<std::size_t>(cv)];
-                used[static_cast<std::size_t>(position[static_cast<std::size_t>(cv)])] = 1;
+                const int cp = position[static_cast<std::size_t>(cv)];
+                fine_position[static_cast<std::size_t>(v)] = cp;
+                if (cp >= 0) used[static_cast<std::size_t>(cp)] = 1;
             }
         }
         // Remaining fine vertices go to the nearest free physical qubit.

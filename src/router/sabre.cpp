@@ -1,3 +1,4 @@
+// qubikos-lint: hot-path — route_pass and the trial loop dominate campaign time.
 #include "router/sabre.hpp"
 
 #include <algorithm>
@@ -9,9 +10,11 @@
 #include <utility>
 
 #include "circuit/dag.hpp"
+#include "circuit/routed.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "router/common.hpp"
+#include "util/check.hpp"
 #include "util/restart.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -420,6 +423,10 @@ routed_circuit reduce_slots(std::vector<trial_arena>& arenas, sabre_stats* stats
     routed_circuit best;
     best.initial = std::move(winner->best_initial);
     best.physical = std::move(winner->best_physical);
+    // The winning trial's initial mapping must still be a bijection —
+    // a trial that corrupted its mapping would otherwise surface as a
+    // silently-invalid routed circuit at report time.
+    QUBIKOS_DCHECK(best.initial.is_consistent());
     if (stats != nullptr) {
         stats->best_swaps = winner->best_swaps;
         stats->best_trial = static_cast<int>(winner->best_trial);
@@ -569,6 +576,13 @@ routed_circuit route_sabre_with_initial(const circuit& logical, const graph& cou
                                         const sabre_options& options,
                                         const sabre_observer& observer, sabre_stats* stats) {
     const obs::trace_span span("sabre.route");
+    QUBIKOS_CHECK_MSG(initial.num_program() == logical.num_qubits() &&
+                          initial.num_physical() == coupling.num_vertices(),
+                      "initial mapping is " << initial.num_program() << "->"
+                                            << initial.num_physical() << ", circuit/device is "
+                                            << logical.num_qubits() << "/"
+                                            << coupling.num_vertices());
+    QUBIKOS_DCHECK(initial.is_consistent());
     sabre_stats local_stats;
     if (stats == nullptr && obs::enabled()) stats = &local_stats;
     const gate_dag dag(logical);
@@ -586,6 +600,9 @@ routed_circuit route_sabre_with_initial(const circuit& logical, const graph& cou
     routed_circuit out;
     out.initial = initial;
     out.physical = emit.take();
+    // Legality before emission to the caller: every two-qubit gate on a
+    // coupled pair, and the physical circuit replays the logical traces.
+    QUBIKOS_DCHECK(validate_routed(logical, out, coupling).valid);
     if (stats != nullptr) {
         *stats = {};
         stats->best_swaps = out.swap_count();
@@ -615,6 +632,9 @@ mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
     mapping current = initial;
     route_pass(dag, coupling, dist, current, options, random, nullptr, {}, nullptr, scratch,
                {}, decisions);
+    // A mapping-only pass applies SWAPs in place; the result must still
+    // be the same bijection up to permutation.
+    QUBIKOS_DCHECK(current.is_consistent());
     return current;
 }
 
@@ -640,6 +660,7 @@ routed_circuit route_sabre(const circuit& logical, const graph& coupling,
 
     if (options.portfolio) {
         routed_circuit out = route_sabre_portfolio(ctx, stats);
+        QUBIKOS_DCHECK(validate_routed(logical, out, coupling).valid);
         if (stats != nullptr && obs::enabled()) publish_sabre_stats(*stats);
         return out;
     }
@@ -670,6 +691,7 @@ routed_circuit route_sabre(const circuit& logical, const graph& coupling,
         /*chunk=*/1);
 
     routed_circuit out = reduce_slots(arenas, stats, trials);
+    QUBIKOS_DCHECK(validate_routed(logical, out, coupling).valid);
     if (stats != nullptr && obs::enabled()) publish_sabre_stats(*stats);
     return out;
 }

@@ -55,11 +55,16 @@ bool formula::brute_force_satisfiable() const {
 }
 
 std::string formula::to_dimacs() const {
-    std::string out = "p cnf " + std::to_string(num_vars_) + " " +
-                      std::to_string(clauses_.size()) + "\n";
+    std::string out = "p cnf ";
+    out += std::to_string(num_vars_);
+    out += ' ';
+    out += std::to_string(clauses_.size());
+    out += '\n';
     for (const auto& clause : clauses_) {
         for (const lit l : clause) {
-            out += (l.negated() ? "-" : "") + std::to_string(l.variable() + 1) + " ";
+            if (l.negated()) out += '-';
+            out += std::to_string(l.variable() + 1);
+            out += ' ';
         }
         out += "0\n";
     }

@@ -26,7 +26,10 @@ struct lit {
     [[nodiscard]] std::size_t index() const { return static_cast<std::size_t>(code); }
 
     [[nodiscard]] std::string str() const {
-        return (negated() ? "-" : "") + std::to_string(variable() + 1);
+        std::string out;
+        if (negated()) out += '-';
+        out += std::to_string(variable() + 1);
+        return out;
     }
 
     friend bool operator==(const lit&, const lit&) = default;

@@ -1,11 +1,11 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "util/check.hpp"
 #include "util/restart.hpp"
 
 namespace qubikos::sat {
@@ -68,14 +68,14 @@ solver::cref solver::alloc_clause(const std::vector<lit>& lits, bool learned, st
 
 void solver::attach(cref ref) {
     clause_view c = view(ref);
-    assert(c.size() >= 2);
+    QUBIKOS_ASSERT(c.size() >= 2);
     watches_[c.get(0).index()].push_back({ref, c.get(1)});
     watches_[c.get(1).index()].push_back({ref, c.get(0)});
 }
 
 bool solver::add_clause(std::vector<lit> lits) {
     if (!ok_) return false;
-    assert(current_level() == 0);
+    QUBIKOS_ASSERT(current_level() == 0);
     // Simplify: sort, dedupe, drop false literals, detect tautologies and
     // satisfied clauses.
     std::sort(lits.begin(), lits.end(),
@@ -113,7 +113,9 @@ bool solver::add_clause(std::vector<lit> lits) {
 }
 
 void solver::enqueue(lit l, cref reason) {
-    assert(value(l) == lbool::undef);
+    QUBIKOS_CHECK_MSG(value(l) == lbool::undef,
+                      "enqueue of already-assigned literal " << l.str() << " at level "
+                                                             << current_level());
     assign_[static_cast<std::size_t>(l.variable())] =
         l.negated() ? lbool::false_ : lbool::true_;
     level_[static_cast<std::size_t>(l.variable())] = current_level();
@@ -195,7 +197,7 @@ void solver::analyze(cref conflict, std::vector<lit>& learnt, int& backtrack_lev
     cref reason = conflict;
 
     for (;;) {
-        assert(reason != kNoReason);
+        QUBIKOS_ASSERT(reason != kNoReason);
         clause_view c = view(reason);
         for (std::uint32_t i = (have_p ? 1u : 0u); i < c.size(); ++i) {
             const lit q = c.get(i);
@@ -324,7 +326,7 @@ lit solver::decide() {
 }
 
 void solver::reduce_db() {
-    assert(current_level() == 0);
+    QUBIKOS_ASSERT(current_level() == 0);
     if (learned_.empty()) return;
     // Keep glue clauses (lbd <= 2) and the better half by LBD.
     std::sort(learned_.begin(), learned_.end(), [this](cref a, cref b) {
@@ -340,6 +342,7 @@ void solver::reduce_db() {
     for (auto& wl : watches_) wl.clear();
     for (const cref ref : problem_clauses_) attach(ref);
     for (const cref ref : learned_) attach(ref);
+    QUBIKOS_DCHECK(watch_invariants_ok());
 }
 
 status solver::solve(const std::vector<lit>& assumptions) {
@@ -351,6 +354,8 @@ status solver::solve(const std::vector<lit>& assumptions) {
         ok_ = false;
         return status::unsat;
     }
+    QUBIKOS_DCHECK(watch_invariants_ok());
+    QUBIKOS_DCHECK(trail_invariants_ok());
 
     std::uint64_t restart_count = 0;
     std::uint64_t conflicts_until_restart = kRestartBase * luby(restart_count);
@@ -395,6 +400,7 @@ status solver::solve(const std::vector<lit>& assumptions) {
             conflicts_since_restart = 0;
             conflicts_until_restart = kRestartBase * luby(restart_count);
             backtrack(0);
+            QUBIKOS_DCHECK(trail_invariants_ok());
             if (learned_.size() > max_learnt) {
                 reduce_db();
                 max_learnt = max_learnt + max_learnt / 10;
@@ -430,6 +436,50 @@ status solver::solve(const std::vector<lit>& assumptions) {
         trail_lim_.push_back(static_cast<int>(trail_.size()));
         enqueue(d, kNoReason);
     }
+}
+
+bool solver::watch_invariants_ok() {
+    // Direction 1: every watcher entry's clause really holds the watched
+    // literal in one of its two watch slots.
+    for (std::size_t idx = 0; idx < watches_.size(); ++idx) {
+        const lit watched = from_code(static_cast<std::int32_t>(idx));
+        for (const watcher& w : watches_[idx]) {
+            const clause_view c = view(w.ref);
+            if (c.size() < 2) return false;
+            if (c.get(0) != watched && c.get(1) != watched) return false;
+        }
+    }
+    // Direction 2: every attached clause appears on exactly the lists of
+    // its first two literals, once each.
+    const auto watched_times = [&](cref ref, lit l) {
+        std::size_t count = 0;
+        for (const watcher& w : watches_[l.index()]) {
+            if (w.ref == ref) ++count;
+        }
+        return count;
+    };
+    for (const std::vector<cref>* clauses : {&problem_clauses_, &learned_}) {
+        for (const cref ref : *clauses) {
+            const clause_view c = view(ref);
+            if (watched_times(ref, c.get(0)) != 1) return false;
+            if (watched_times(ref, c.get(1)) != 1) return false;
+        }
+    }
+    return true;
+}
+
+bool solver::trail_invariants_ok() const {
+    if (qhead_ != trail_.size()) return false;
+    for (std::size_t i = 0; i < trail_.size(); ++i) {
+        if (value(trail_[i]) != lbool::true_) return false;
+    }
+    // Decision markers partition the trail into non-decreasing levels.
+    for (std::size_t l = 0; l < trail_lim_.size(); ++l) {
+        const auto lim = static_cast<std::size_t>(trail_lim_[l]);
+        if (lim > trail_.size()) return false;
+        if (l > 0 && trail_lim_[l] < trail_lim_[l - 1]) return false;
+    }
+    return true;
 }
 
 bool solver::model_value(var v) const {

@@ -104,6 +104,15 @@ private:
     [[nodiscard]] int level(var v) const { return level_[static_cast<std::size_t>(v)]; }
     [[nodiscard]] int current_level() const { return static_cast<int>(trail_lim_.size()); }
 
+    // --- contract scans (QUBIKOS_DCHECK material; see util/check.hpp) ----
+    /// Two-watched-literal invariant: every watcher entry's clause holds
+    /// the watched literal in slot 0 or 1, and every attached clause is
+    /// found on exactly the two lists of its first two literals.
+    [[nodiscard]] bool watch_invariants_ok();
+    /// Trail invariant: propagation queue drained, every trail literal
+    /// assigned true at a level consistent with the decision markers.
+    [[nodiscard]] bool trail_invariants_ok() const;
+
     // --- activity heap ----------------------------------------------------
     void bump_var(var v);
     void decay_var_activity() { var_inc_ /= kVarDecay; }

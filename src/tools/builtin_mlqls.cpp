@@ -64,7 +64,8 @@ void register_builtin_mlqls() {
                     return router::route_mlqls(c, g, context->distances(), m);
                 }
                 return router::route_mlqls(c, g, m);
-            }};
+            },
+            /*run_stats=*/{}};
     });
 }
 

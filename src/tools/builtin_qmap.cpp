@@ -30,7 +30,8 @@ void register_builtin_qmap() {
                     return router::route_qmap(c, g, context->distances(), q);
                 }
                 return router::route_qmap(c, g, q);
-            }};
+            },
+            /*run_stats=*/{}};
     });
 }
 

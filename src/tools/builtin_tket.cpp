@@ -32,7 +32,8 @@ void register_builtin_tket() {
                     return router::route_tket(c, g, context->distances(), t);
                 }
                 return router::route_tket(c, g, t);
-            }};
+            },
+            /*run_stats=*/{}};
     });
 }
 

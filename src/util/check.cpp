@@ -1,0 +1,34 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qubikos::check_detail {
+
+std::string format_failure(const char* expr, const char* file, int line, const char* function,
+                           const std::string& message) {
+    std::string out = "qubikos: contract violated: ";
+    out += expr;
+    out += "\n  at ";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    out += " in ";
+    out += function;
+    if (!message.empty()) {
+        out += "\n  ";
+        out += message;
+    }
+    out += "\n";
+    return out;
+}
+
+void fail(const char* expr, const char* file, int line, const char* function,
+          const std::string& message) {
+    const std::string report = format_failure(expr, file, line, function, message);
+    std::fwrite(report.data(), 1, report.size(), stderr);
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace qubikos::check_detail

@@ -17,11 +17,14 @@
 namespace qubikos::json {
 
 class value;
+
+// The kind enum is declared before the container aliases: gcc's -Wshadow
+// otherwise reports the scoped enumerators as shadowing the aliases.
+enum class kind { null, boolean, number, string, array, object };
+
 using array = std::vector<value>;
 /// std::map keeps key order deterministic, which keeps emitted files diffable.
 using object = std::map<std::string, value>;
-
-enum class kind { null, boolean, number, string, array, object };
 
 /// Error thrown by the parser and by mistyped accessors.
 class error : public std::runtime_error {

@@ -1,0 +1,83 @@
+// Contract-macro tests: failure-report formatting, the compile-time
+// enablement constants, full elision (a disabled check must not even
+// evaluate its condition), and the abort path via death tests.
+//
+// This file compiles in every CI leg, so both arms are exercised: the
+// Release matrix builds it with checks off (elision tests active) and the
+// Debug+checks leg with checks on (death tests active).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace qubikos {
+namespace {
+
+TEST(Check, FormatFailureCarriesExpressionLocationAndMessage) {
+    const std::string report = check_detail::format_failure(
+        "a == b", "mapping.cpp", 42, "swap_physical", "a=1 b=2");
+    EXPECT_NE(report.find("a == b"), std::string::npos);
+    EXPECT_NE(report.find("mapping.cpp:42"), std::string::npos);
+    EXPECT_NE(report.find("swap_physical"), std::string::npos);
+    EXPECT_NE(report.find("a=1 b=2"), std::string::npos);
+}
+
+TEST(Check, FormatFailureWithoutMessageStaysCompact) {
+    const std::string with = check_detail::format_failure("x", "f.cpp", 1, "g", "detail");
+    const std::string without = check_detail::format_failure("x", "f.cpp", 1, "g", "");
+    EXPECT_LT(without.size(), with.size());
+    EXPECT_EQ(without.find("detail"), std::string::npos);
+}
+
+TEST(Check, EnablementConstantsMatchThePreprocessorGate) {
+#if QUBIKOS_ENABLE_CHECKS
+    EXPECT_TRUE(checks_enabled);
+#else
+    EXPECT_FALSE(checks_enabled);
+#endif
+#if QUBIKOS_ENABLE_CHECKS && !defined(NDEBUG)
+    EXPECT_TRUE(dchecks_enabled);
+#else
+    EXPECT_FALSE(dchecks_enabled);
+#endif
+}
+
+TEST(Check, DisabledChecksDoNotEvaluateTheCondition) {
+    // The contract is full elision: with checks off, the condition (and
+    // any side effect in it) must never run. With checks on, each passing
+    // check evaluates its condition exactly once.
+    int evaluations = 0;
+    const auto touch = [&evaluations]() {
+        ++evaluations;
+        return true;
+    };
+    (void)touch;
+    QUBIKOS_ASSERT(touch());
+    QUBIKOS_CHECK_MSG(touch(), "evaluations=" << evaluations);
+    QUBIKOS_DCHECK(touch());
+    int expected = 0;
+    if (checks_enabled) expected += 2;
+    if (dchecks_enabled) expected += 1;
+    EXPECT_EQ(evaluations, expected);
+}
+
+#if QUBIKOS_ENABLE_CHECKS
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailedAssertAbortsWithContext) {
+    EXPECT_DEATH(QUBIKOS_ASSERT(2 + 2 == 5), "contract violated");
+}
+
+TEST(CheckDeathTest, FailedCheckMsgCapturesStreamedValues) {
+    const int lhs = 3;
+    const int rhs = 4;
+    EXPECT_DEATH(QUBIKOS_CHECK_MSG(lhs == rhs, "lhs=" << lhs << " rhs=" << rhs),
+                 "lhs=3 rhs=4");
+}
+
+#endif  // QUBIKOS_ENABLE_CHECKS
+
+}  // namespace
+}  // namespace qubikos
