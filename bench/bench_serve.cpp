@@ -1,0 +1,301 @@
+// bench_serve: the routing service under concurrent client load.
+//
+// Two questions, both regression-gated (scripts/bench_regression_gate.py
+// --serve):
+//
+//   throughput  requests/sec of N concurrent clients against an
+//               in-process server, with the per-device context cache on
+//               vs off ("cold" rebuilds the routing_context on every
+//               request). The workload is multi-device on large grids,
+//               where the O(V*(V+E)) distance-matrix build dominates a
+//               small routing call — the case the LRU cache exists for.
+//               Gate: cached >= 2x cold.
+//   latency     per-request round-trip p50/p99 for the cached run.
+//
+// Responses are also checked bit-identical between the cached and cold
+// runs — the cache is an optimization, never an observable.
+//
+// Infrastructure bench (no paper figure). Raw data: BENCH_serve.json.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "bench_common.hpp"
+#include "circuit/qasm.hpp"
+#include "core/qubikos.hpp"
+#include "serve/engine.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qubikos {
+namespace {
+
+// Large enough that the distance-matrix build is the dominant
+// per-request cost, small enough that lightsabre on a tiny circuit
+// stays fast (grid24x24 routing is ~100x slower — a separate story, not
+// this bench's).
+const std::vector<std::string> kDevices = {"grid16x16", "grid18x18", "grid20x20"};
+
+struct wire_request {
+    std::string line;      ///< framed JSONL request (no newline)
+    std::size_t index = 0; ///< position in the global workload order
+};
+
+struct client_share {
+    std::vector<wire_request> requests;
+    std::vector<std::string> responses;  ///< same order as requests
+    std::vector<double> latency_seconds; ///< same order as requests
+};
+
+struct load_result {
+    double seconds = 0.0;
+    std::vector<std::string> responses; ///< global workload order
+    std::vector<double> latencies;      ///< sorted ascending
+    serve::engine::cache_stats stats;
+    std::uint64_t served = 0;
+};
+
+/// One route request per (device, seed) with the circuit shipped as QASM
+/// so request cost is parse + route (+ context build when cold); the
+/// generator runs once here, not per request. Zero-swap instances keep
+/// the routing term small and uniform across seeds (SABRE runtime on
+/// instances that need swaps varies by 100x with the seed, which would
+/// drown the context-build cost this bench isolates — router throughput
+/// has its own benches).
+std::vector<wire_request> build_workload(int per_device) {
+    std::vector<wire_request> out;
+    for (const auto& name : kDevices) {
+        const auto device = arch::by_name(name);
+        for (int i = 0; i < per_device; ++i) {
+            core::generator_options options;
+            options.num_swaps = 0;
+            options.total_two_qubit_gates = 8;
+            options.seed = static_cast<std::uint64_t>(i + 1);
+            const auto instance = core::generate(device, options);
+
+            json::object req;
+            req["id"] = name + "-" + std::to_string(i);
+            req["op"] = "route";
+            req["device"] = name;
+            req["tool"] = "lightsabre";
+            json::object tool_options;
+            tool_options["trials"] = 1;
+            req["options"] = json::value(std::move(tool_options));
+            req["qasm"] = qasm::write(instance.logical);
+
+            wire_request wr;
+            wr.line = json::value(std::move(req)).dump();
+            wr.index = out.size();
+            out.push_back(std::move(wr));
+        }
+    }
+    return out;
+}
+
+bool send_all(int fd, const std::string& framed) {
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, 0);
+        if (n <= 0) return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string read_line(int fd) {
+    std::string line;
+    char b = 0;
+    for (;;) {
+        const ssize_t n = ::recv(fd, &b, 1, 0);
+        if (n <= 0) return line;
+        if (b == '\n') return line;
+        line += b;
+    }
+}
+
+/// Synchronous request/response loop: each round trip is one latency
+/// sample (includes queue wait — that is the service's latency, not an
+/// artifact to subtract).
+void client_loop(int fd, client_share& share) {
+    share.responses.reserve(share.requests.size());
+    share.latency_seconds.reserve(share.requests.size());
+    for (const auto& req : share.requests) {
+        stopwatch timer;
+        if (!send_all(fd, req.line + "\n")) break;
+        share.responses.push_back(read_line(fd));
+        share.latency_seconds.push_back(timer.seconds());
+    }
+    ::close(fd);
+}
+
+load_result run_load(bool cached, const std::vector<wire_request>& workload, int clients) {
+    serve::engine_options eng_options;
+    eng_options.cache_contexts = cached;
+    eng_options.max_cached_devices = kDevices.size() + 1;
+    serve::engine eng(eng_options);
+    serve::server srv(eng);
+
+    std::vector<client_share> shares(static_cast<std::size_t>(clients));
+    for (const auto& req : workload) {
+        shares[req.index % static_cast<std::size_t>(clients)].requests.push_back(req);
+    }
+
+    std::vector<int> fds;
+    for (int c = 0; c < clients; ++c) {
+        int pair[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+            std::perror("socketpair");
+            std::exit(1);
+        }
+        fds.push_back(pair[0]);
+        srv.add_client(pair[1]);
+    }
+
+    stopwatch wall;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back(client_loop, fds[static_cast<std::size_t>(c)],
+                             std::ref(shares[static_cast<std::size_t>(c)]));
+    }
+    for (auto& t : threads) t.join();
+
+    load_result result;
+    result.seconds = wall.seconds();
+    srv.stop();
+    result.served = srv.requests_served();
+    result.stats = eng.stats();
+
+    result.responses.resize(workload.size());
+    for (const auto& share : shares) {
+        for (std::size_t i = 0; i < share.responses.size(); ++i) {
+            result.responses[share.requests[i].index] = share.responses[i];
+        }
+        result.latencies.insert(result.latencies.end(), share.latency_seconds.begin(),
+                                share.latency_seconds.end());
+    }
+    std::sort(result.latencies.begin(), result.latencies.end());
+    return result;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int run() {
+    const bench::scale s = bench::bench_scale();
+    const int reps = s == bench::scale::smoke ? 2 : (s == bench::scale::paper ? 8 : 4);
+    const int per_device = s == bench::scale::smoke ? 6 : (s == bench::scale::paper ? 48 : 16);
+    const int clients = 4;
+    constexpr double kSpeedupThreshold = 2.0;
+
+    bench::print_header("bench_serve: routing service under concurrent load",
+                        "infrastructure (no paper figure)");
+    std::printf("devices: ");
+    for (const auto& d : kDevices) std::printf("%s ", d.c_str());
+    std::printf("\nclients: %d   requests: %zu   reps: %d (best-of)\n\n", clients,
+                kDevices.size() * static_cast<std::size_t>(per_device), reps);
+
+    const auto workload = build_workload(per_device);
+    const double n = static_cast<double>(workload.size());
+
+    // Best-of-reps on throughput; latency distribution taken from the
+    // best (least scheduler-noisy) rep.
+    load_result best_cached;
+    load_result best_cold;
+    for (int r = 0; r < reps; ++r) {
+        auto cached = run_load(true, workload, clients);
+        if (r == 0 || cached.seconds < best_cached.seconds) best_cached = std::move(cached);
+        auto cold = run_load(false, workload, clients);
+        if (r == 0 || cold.seconds < best_cold.seconds) best_cold = std::move(cold);
+    }
+
+    bool ok = true;
+    if (best_cached.served != workload.size() || best_cold.served != workload.size()) {
+        std::printf("FAIL: served %llu cached / %llu cold, expected %zu\n",
+                    static_cast<unsigned long long>(best_cached.served),
+                    static_cast<unsigned long long>(best_cold.served), workload.size());
+        ok = false;
+    }
+    const bool responses_match = best_cached.responses == best_cold.responses;
+    if (!responses_match) {
+        std::printf("FAIL: cached and cold responses differ — the cache is observable\n");
+        ok = false;
+    }
+    for (const auto& line : best_cached.responses) {
+        if (!json::parse(line).at("legal").as_bool()) {
+            std::printf("FAIL: illegal routing in response: %s\n", line.c_str());
+            ok = false;
+            break;
+        }
+    }
+
+    const double rps_cached = n / best_cached.seconds;
+    const double rps_cold = n / best_cold.seconds;
+    const double speedup = rps_cached / rps_cold;
+
+    std::printf("throughput (requests/sec)\n");
+    std::printf("  context cache on   %9.0f rps  (%zu hits, %zu misses)\n", rps_cached,
+                best_cached.stats.hits, best_cached.stats.misses);
+    std::printf("  cold per request   %9.0f rps  (%zu misses)\n", rps_cold,
+                best_cold.stats.misses);
+    std::printf("  speedup            %9.2fx  (gate: >= %.1fx)\n\n", speedup,
+                kSpeedupThreshold);
+
+    std::printf("latency, cached (per-request round trip)\n");
+    std::printf("  p50  %8.3f ms\n", percentile(best_cached.latencies, 50.0) * 1e3);
+    std::printf("  p99  %8.3f ms\n", percentile(best_cached.latencies, 99.0) * 1e3);
+    std::printf("  max  %8.3f ms\n\n", best_cached.latencies.back() * 1e3);
+
+    std::printf("responses bit-identical cached vs cold: %s\n",
+                responses_match ? "yes" : "NO");
+
+    json::object doc;
+    doc["schema"] = "qubikos.bench_serve.v1";
+    doc["scale"] = bench::scale_name(s);
+    doc["resolved_threads"] = thread_pool::resolve_threads(0);
+    doc["clients"] = clients;
+    doc["requests"] = workload.size();
+    doc["reps"] = reps;
+    json::array devices;
+    for (const auto& d : kDevices) devices.push_back(d);
+    doc["devices"] = std::move(devices);
+    doc["rps_cached"] = rps_cached;
+    doc["rps_cold"] = rps_cold;
+    doc["speedup"] = speedup;
+    doc["speedup_threshold"] = kSpeedupThreshold;
+    doc["speedup_ok"] = speedup >= kSpeedupThreshold;
+    doc["responses_match"] = responses_match;
+    doc["cached_hits"] = best_cached.stats.hits;
+    doc["cached_misses"] = best_cached.stats.misses;
+    doc["cold_misses"] = best_cold.stats.misses;
+    doc["latency_p50_seconds"] = percentile(best_cached.latencies, 50.0);
+    doc["latency_p99_seconds"] = percentile(best_cached.latencies, 99.0);
+    doc["latency_max_seconds"] = best_cached.latencies.back();
+
+    const std::string path = "BENCH_serve.json";
+    std::ofstream file(path);
+    file << json::value(std::move(doc)).dump(2) << "\n";
+    file.flush();
+    std::printf("\n[raw data: %s]\n", path.c_str());
+    return file.good() && ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qubikos
+
+int main() { return qubikos::run(); }

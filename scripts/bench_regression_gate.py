@@ -4,6 +4,7 @@
 Usage:
     scripts/bench_regression_gate.py BENCH_baseline.json build/BENCH_micro.json \
         [--max-regression 0.25] [--min-seconds 1e-5]
+    scripts/bench_regression_gate.py --serve build/BENCH_serve.json
 
 Compares the tracked single-threaded sections of bench_micro's timed
 output (distance_matrix per architecture, candidate_swaps per-call,
@@ -33,6 +34,18 @@ Sections faster than --min-seconds in the baseline are reported but never
 gated: at that duration the comparison measures scheduler noise. A large
 *improvement* is reported too, as a hint to refresh the baseline (commit
 the new BENCH_micro.json as BENCH_baseline.json).
+
+With --serve the gate instead checks a BENCH_serve.json document (the
+routing-service bench) on absolute properties of the current run only —
+no baseline, since requests/sec is machine-dependent but the cached/cold
+*ratio* is not:
+
+  - speedup: requests/sec with the per-device context cache on must be
+    at least the document's recorded threshold (2x) over rebuilding the
+    context on every request;
+  - responses_match: the cached and cold runs must have produced
+    bit-identical response lines (the cache is an optimization, never an
+    observable).
 
 Exit codes: 0 ok, 1 regression, 2 schema/usage problem.
 """
@@ -111,6 +124,46 @@ def absolute_checks(doc):
                "enabled and disabled runs must agree on swap count")
 
 
+def serve_checks(doc):
+    """Yield (name, ok, detail) for a qubikos.bench_serve document."""
+    speedup = float(doc["speedup"])
+    threshold = float(doc["speedup_threshold"])
+    yield ("serve context-cache speedup", speedup >= threshold,
+           f"{speedup:.2f}x ({doc['rps_cached']:.0f} vs {doc['rps_cold']:.0f} rps, "
+           f"floor {threshold:.1f}x)")
+    yield ("serve cached/cold responses bit-identical", bool(doc["responses_match"]),
+           f"{doc['requests']} requests on {len(doc['devices'])} devices")
+
+
+def gate_serve(path):
+    """Run the absolute serve checks; exit 1 on failure, 0 otherwise."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: cannot load {path}: {err}")
+    if doc.get("schema") != "qubikos.bench_serve.v1":
+        print(f"error: {path} is not a qubikos.bench_serve document", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"serve gate: {path} (scale {doc.get('scale', '?')}, "
+          f"{doc.get('clients', '?')} clients)")
+    print(f"  latency cached: p50 {float(doc['latency_p50_seconds']) * 1e3:.2f} ms, "
+          f"p99 {float(doc['latency_p99_seconds']) * 1e3:.2f} ms (informational)")
+    failed = []
+    for name, ok, detail in serve_checks(doc):
+        mark = "ok" if ok else "FAIL"
+        print(f"  [{mark}] {name}: {detail}")
+        if not ok:
+            failed.append(name)
+    if failed:
+        print(f"FAIL: {len(failed)} serve gate check(s) failed: {', '.join(failed)}",
+              file=sys.stderr)
+        sys.exit(1)
+    print("OK: serve bench within gates")
+    sys.exit(0)
+
+
 def default_max_regression():
     """25%, unless QUBIKOS_BENCH_GATE_PCT overrides (empty = unset)."""
     raw = os.environ.get("QUBIKOS_BENCH_GATE_PCT", "").strip()
@@ -137,8 +190,14 @@ def load(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument(
+        "--serve",
+        metavar="BENCH_SERVE_JSON",
+        help="gate a BENCH_serve.json document instead (absolute checks, "
+             "no baseline)",
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -153,6 +212,13 @@ def main():
         help="baseline durations below this are reported but not gated",
     )
     args = parser.parse_args()
+
+    if args.serve is not None:
+        if args.baseline is not None or args.current is not None:
+            parser.error("--serve takes no baseline/current positionals")
+        gate_serve(args.serve)
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current are required (or use --serve)")
 
     base = dict(tracked_sections(load(args.baseline)))
     cur = dict(tracked_sections(load(args.current)))

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace qubikos::obs {
 
 namespace {
@@ -145,25 +147,24 @@ void write_events(const std::string& path, std::vector<trace_event> events,
     }
     const std::uint64_t t0 = process_t0_ns();
     out << "[";
-    char buf[256];
+    char buf[128];
     bool first = true;
+    // Span names come from instrumentation sites as literals today, but
+    // the emitter must not rely on that: they pass through the shared
+    // json escaping helper, never a raw %s.
     for (const trace_event& e : events) {
-        std::snprintf(buf, sizeof(buf),
-                      "%s\n{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
-                      "\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
-                      first ? "" : ",", e.name,
+        std::snprintf(buf, sizeof(buf), ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"pid\":1,\"tid\":%d}",
                       static_cast<double>(e.start_ns - t0) / 1000.0,
                       static_cast<double>(e.dur_ns) / 1000.0, e.tid);
-        out << buf;
+        out << (first ? "" : ",") << "\n{\"name\":"
+            << json::quoted(std::string(e.name)) << buf;
         first = false;
     }
     if (dropped > 0) {
-        std::snprintf(buf, sizeof(buf),
-                      "%s\n{\"name\":\"trace.dropped:%llu\",\"ph\":\"X\","
-                      "\"ts\":0.000,\"dur\":0.000,\"pid\":1,\"tid\":0}",
-                      first ? "" : ",",
-                      static_cast<unsigned long long>(dropped));
-        out << buf;
+        out << (first ? "" : ",") << "\n{\"name\":"
+            << json::quoted("trace.dropped:" + std::to_string(dropped))
+            << ",\"ph\":\"X\",\"ts\":0.000,\"dur\":0.000,\"pid\":1,\"tid\":0}";
     }
     out << "\n]\n";
 }

@@ -1,0 +1,159 @@
+// Typed request/response API of the routing service.
+//
+// One schema, three consumers: the `qubikos_cli serve` daemon parses
+// wire lines into these structs, the CLI `route` command builds them
+// directly from its arguments, and bench_serve's load driver generates
+// them programmatically — so a served response and a direct CLI
+// invocation are the same code path end to end (pinned byte-identical
+// by test), never two stringly-typed reimplementations.
+//
+// The wire protocol is JSONL: one JSON object per '\n'-terminated line,
+// one response line per request line (see docs/serve.md for framing,
+// backpressure and the error envelope). Validation is loud in the spec
+// v3 tradition: an unknown op, device, tool, option key or an ill-typed
+// value is rejected with a structured error envelope — never a silent
+// default that would quietly serve the wrong configuration.
+//
+// Responses are byte-deterministic for a fixed request and library
+// version: timing is opt-in per request ("timing": true) precisely so
+// the default response carries no wall-clock noise. Depth metrics ride
+// along as optional fields (the 2020 Optimality Study evaluates depth
+// optimality too; the schema keeps room for fidelity-style metrics the
+// same way).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace qubikos::serve {
+
+class engine;  // serve/engine.hpp
+
+/// Structured request-rejection reasons (the "code" field of the error
+/// envelope). Stable wire names via error_code_name().
+enum class error_code {
+    parse_error,     ///< line is not a JSON object
+    bad_request,     ///< schema violation (missing/unknown/ill-typed field)
+    unknown_op,      ///< "op" not in {route, certify, tools}
+    unknown_device,  ///< "device" is not a known architecture
+    unknown_tool,    ///< "tool" is not in the registry
+    bad_option,      ///< "options" rejected by the tool's schema
+    oversized_line,  ///< request line exceeded the server's byte limit
+    internal,        ///< unexpected failure while executing
+};
+
+[[nodiscard]] const char* error_code_name(error_code code);
+
+/// Thrown by parse/execute paths; the server and handle_line() convert
+/// it into an error envelope, so a malformed request can never take the
+/// daemon down.
+class request_error : public std::runtime_error {
+public:
+    request_error(error_code code, const std::string& message)
+        : std::runtime_error(message), code_(code) {}
+    [[nodiscard]] error_code code() const { return code_; }
+
+private:
+    error_code code_;
+};
+
+/// Generator parameters for requests that synthesize their circuit
+/// server-side instead of shipping QASM (exactly core::generator_options'
+/// QUBIKOS knobs).
+struct generator_params {
+    int swaps = 1;
+    std::size_t gates = 0;
+    std::uint64_t seed = 1;
+};
+
+/// op == "route": route one circuit with one registry tool.
+struct route_request {
+    std::string id;
+    std::string device;             ///< architecture name (arch::by_name)
+    std::string tool;               ///< registry tool name
+    json::value options;            ///< schema overrides; null = defaults
+    std::string qasm;               ///< inline OpenQASM 2.0 program, or
+    std::optional<generator_params> generate;  ///< generate server-side
+    bool timing = false;            ///< include "seconds" in the response
+    bool emit_qasm = false;         ///< include the routed physical QASM
+};
+
+struct route_response {
+    std::string id;
+    std::string device;
+    std::string tool;
+    std::size_t swaps = 0;
+    bool legal = false;
+    /// validate_routed's diagnosis when legal is false (serialized only
+    /// then; the shipped tools never produce an illegal routing).
+    std::string validation_error;
+    /// Optional metrics (depth today; fidelity-style columns later).
+    long long depth = -1;
+    double depth_ratio = 0.0;
+    /// Routed physical program; present when the request set emit_qasm.
+    std::string qasm;
+    /// Wall seconds spent routing; < 0 (absent) unless the request set
+    /// timing — keeps default responses byte-deterministic.
+    double seconds = -1.0;
+
+    [[nodiscard]] json::value to_json() const;
+};
+
+/// op == "certify": generate a QUBIKOS instance and confirm its declared
+/// optimal SWAP count with the exact solver.
+struct certify_request {
+    std::string id;
+    std::string device;
+    generator_params generate;
+    std::uint64_t conflict_limit = 0;  ///< 0 = unlimited
+    bool timing = false;
+};
+
+struct certify_response {
+    std::string id;
+    std::string device;
+    int declared_swaps = 0;
+    int solver_swaps = -1;
+    bool confirmed = false;
+    bool aborted = false;
+    double seconds = -1.0;
+
+    [[nodiscard]] json::value to_json() const;
+};
+
+enum class op { route, certify, tools };
+
+/// One parsed request of any op (a closed sum; `which` selects the
+/// active payload).
+struct request {
+    op which = op::route;
+    std::string id;
+    route_request route;
+    certify_request certify;
+};
+
+/// Parses and fully validates one wire line. Throws request_error with a
+/// structured code on any violation; the thrown message is what lands in
+/// the error envelope's "message".
+[[nodiscard]] request parse_request(const std::string& line);
+
+/// Builds one error-envelope response line (no trailing newline):
+/// {"error":{"code":...,"message":...},"id":...,"ok":false}. `id` may be
+/// empty (unparseable requests echo "").
+[[nodiscard]] std::string error_line(const std::string& id, error_code code,
+                                     const std::string& message);
+
+/// Executes one parsed request against `eng` and returns the response
+/// line (no trailing newline). Request-level failures become error
+/// envelopes; this never throws for bad requests.
+[[nodiscard]] std::string execute(engine& eng, const request& req);
+
+/// parse_request + execute: the one-line-in, one-line-out entry the
+/// server loop, the CLI and the tests all call.
+[[nodiscard]] std::string handle_line(engine& eng, const std::string& line);
+
+}  // namespace qubikos::serve

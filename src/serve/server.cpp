@@ -1,0 +1,356 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "serve/request.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qubikos::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+    throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+bool write_all(int fd, const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// One queued request line. `waited` measures queue latency (enqueue to
+/// dispatch) for the serve.queue_wait timer.
+struct pending {
+    std::string line;
+    bool oversized = false;
+    stopwatch waited;
+};
+
+struct client_state {
+    int fd = -1;
+    std::thread reader;
+    std::deque<pending> queue;
+    bool eof = false;
+    bool write_failed = false;
+};
+
+struct batch_item {
+    client_state* client = nullptr;
+    std::string line;
+    bool oversized = false;
+};
+
+}  // namespace
+
+struct server::impl {
+    engine& eng;
+    server_options opts;
+
+    std::mutex mu;
+    std::condition_variable work_cv;   // dispatcher: work queued / stop
+    std::condition_variable space_cv;  // readers: queue below its bound
+    std::vector<std::unique_ptr<client_state>> clients;
+    bool stopping = false;
+    bool stopped = false;
+
+    std::vector<int> listen_fds;
+    std::vector<std::thread> acceptors;
+    std::thread dispatcher;
+    std::string unix_path;
+    std::atomic<std::uint64_t> served{0};
+
+    impl(engine& e, server_options o) : eng(e), opts(o) {
+        dispatcher = std::thread([this] { dispatcher_loop(); });
+    }
+
+    void enqueue(client_state* c, pending p) {
+        std::unique_lock<std::mutex> lock(mu);
+        // During shutdown the bound is waived: everything a reader got
+        // off the wire is answered, and blocking here forever would
+        // deadlock stop() against a full queue.
+        space_cv.wait(lock, [&] {
+            return stopping || c->queue.size() < opts.max_queued_per_client;
+        });
+        p.waited.reset();
+        c->queue.push_back(std::move(p));
+        work_cv.notify_one();
+    }
+
+    void reader_loop(client_state* c) {
+        std::string line;
+        char chunk[4096];
+        bool drop = false;  // inside an oversized line: discard to '\n'
+        for (;;) {
+            const ssize_t n = ::recv(c->fd, chunk, sizeof chunk, 0);
+            if (n < 0 && errno == EINTR) continue;
+            if (n <= 0) break;
+            for (ssize_t i = 0; i < n; ++i) {
+                const char b = chunk[i];
+                if (b == '\n') {
+                    if (drop) {
+                        enqueue(c, pending{"", true, {}});
+                        drop = false;
+                    } else if (!line.empty()) {
+                        enqueue(c, pending{std::move(line), false, {}});
+                    }
+                    line.clear();
+                    continue;
+                }
+                if (drop) continue;
+                line += b;
+                if (line.size() > opts.max_line_bytes) {
+                    line.clear();
+                    drop = true;
+                }
+            }
+        }
+        // A final unterminated line still gets an answer (clients that
+        // half-close after their last request need no trailing newline).
+        if (drop) {
+            enqueue(c, pending{"", true, {}});
+        } else if (!line.empty()) {
+            enqueue(c, pending{std::move(line), false, {}});
+        }
+        const std::lock_guard<std::mutex> lock(mu);
+        c->eof = true;
+        work_cv.notify_one();
+    }
+
+    void dispatcher_loop() {
+        static const obs::timer_id queue_wait = obs::timer("serve.queue_wait");
+        static const obs::metric_id batches = obs::counter("serve.batches");
+        std::vector<batch_item> batch;
+        std::vector<std::string> responses;
+        for (;;) {
+            std::vector<std::unique_ptr<client_state>> dead;
+            bool finished = false;
+            {
+                std::unique_lock<std::mutex> lock(mu);
+                work_cv.wait(lock, [&] {
+                    if (stopping) return true;
+                    for (const auto& c : clients) {
+                        if (!c->queue.empty() || c->eof) return true;
+                    }
+                    return false;
+                });
+                batch.clear();
+                for (const auto& c : clients) {
+                    while (!c->queue.empty()) {
+                        pending p = std::move(c->queue.front());
+                        c->queue.pop_front();
+                        obs::add(queue_wait.ns,
+                                 static_cast<std::uint64_t>(p.waited.seconds() * 1e9));
+                        obs::add(queue_wait.calls);
+                        batch.push_back({c.get(), std::move(p.line), p.oversized});
+                    }
+                }
+                if (!batch.empty()) space_cv.notify_all();
+                // Reap finished clients only when no batch references
+                // them (their queues were just drained into this batch,
+                // so wait for the next round).
+                if (batch.empty()) {
+                    for (std::size_t i = clients.size(); i-- > 0;) {
+                        if (clients[i]->eof && clients[i]->queue.empty()) {
+                            dead.push_back(std::move(clients[i]));
+                            clients.erase(clients.begin() +
+                                          static_cast<std::ptrdiff_t>(i));
+                        }
+                    }
+                    finished = stopping && clients.empty();
+                }
+            }
+            reap(dead);
+            if (finished) return;
+            if (batch.empty()) continue;
+
+            obs::add(batches);
+            responses.assign(batch.size(), {});
+            const auto run_one = [&](std::size_t i) {
+                try {
+                    responses[i] = batch[i].oversized
+                                       ? error_line("", error_code::oversized_line,
+                                                    "request line exceeds " +
+                                                        std::to_string(opts.max_line_bytes) +
+                                                        " bytes")
+                                       : handle_line(eng, batch[i].line);
+                } catch (const std::exception& e) {
+                    responses[i] = error_line("", error_code::internal, e.what());
+                }
+            };
+            if (batch.size() == 1) {
+                run_one(0);
+            } else {
+                const obs::trace_span span("serve.batch");
+                thread_pool& pool = thread_pool::shared();
+                const std::size_t workers = opts.max_batch_workers == 0
+                                                ? pool.size()
+                                                : opts.max_batch_workers;
+                pool.parallel_for_slots(
+                    0, batch.size(), workers,
+                    [&](std::size_t i, std::size_t) { run_one(i); }, 1);
+            }
+
+            // No lock for the writes: the dispatcher is the only thread
+            // that reaps clients or touches write_failed/fd-for-writing,
+            // so a slow client blocking in send() stalls only this batch
+            // flush, never the readers.
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                client_state* c = batch[i].client;
+                if (!c->write_failed && !write_all(c->fd, responses[i] + "\n")) {
+                    c->write_failed = true;
+                }
+                served.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+
+    static void reap(std::vector<std::unique_ptr<client_state>>& dead) {
+        for (auto& c : dead) {
+            if (c->reader.joinable()) c->reader.join();
+            ::close(c->fd);
+        }
+        dead.clear();
+    }
+
+    void adopt(int fd) {
+        std::unique_lock<std::mutex> lock(mu);
+        if (stopping) {
+            lock.unlock();
+            ::close(fd);
+            return;
+        }
+        auto c = std::make_unique<client_state>();
+        c->fd = fd;
+        client_state* raw = c.get();
+        clients.push_back(std::move(c));
+        raw->reader = std::thread([this, raw] { reader_loop(raw); });
+    }
+
+    void accept_loop(int lfd) {
+        for (;;) {
+            const int fd = ::accept(lfd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR) continue;
+                return;  // listener shut down
+            }
+            adopt(fd);
+        }
+    }
+
+    void start_acceptor(int lfd) {
+        {
+            const std::lock_guard<std::mutex> lock(mu);
+            listen_fds.push_back(lfd);
+        }
+        acceptors.emplace_back([this, lfd] { accept_loop(lfd); });
+    }
+
+    void stop() {
+        {
+            std::unique_lock<std::mutex> lock(mu);
+            if (stopped) return;
+            stopped = true;
+            stopping = true;
+            // Unblock accept() (Linux: shutdown on a listener fails the
+            // blocked call) and half-close client reads so readers see
+            // EOF after the bytes already in flight.
+            for (const int lfd : listen_fds) ::shutdown(lfd, SHUT_RDWR);
+            for (const auto& c : clients) ::shutdown(c->fd, SHUT_RD);
+            space_cv.notify_all();
+        }
+        for (auto& t : acceptors) t.join();
+        acceptors.clear();
+        for (const int lfd : listen_fds) ::close(lfd);
+        listen_fds.clear();
+        // Readers drain into the queues and mark eof; the dispatcher
+        // answers everything queued, reaps every client and exits.
+        work_cv.notify_one();
+        if (dispatcher.joinable()) dispatcher.join();
+        if (!unix_path.empty()) ::unlink(unix_path.c_str());
+    }
+};
+
+server::server(engine& eng, server_options options)
+    : impl_(std::make_unique<impl>(eng, options)) {}
+
+server::~server() { impl_->stop(); }
+
+void server::listen_unix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("serve: socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (lfd < 0) sys_fail("socket");
+    ::unlink(path.c_str());  // a stale socket from a killed daemon
+    if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(lfd, 64) != 0) {
+        ::close(lfd);
+        sys_fail("bind/listen on " + path);
+    }
+    impl_->unix_path = path;
+    impl_->start_acceptor(lfd);
+}
+
+int server::listen_tcp(int port) {
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (lfd < 0) sys_fail("socket");
+    const int one = 1;
+    ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(lfd, 64) != 0) {
+        ::close(lfd);
+        sys_fail("bind/listen on 127.0.0.1:" + std::to_string(port));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        ::close(lfd);
+        sys_fail("getsockname");
+    }
+    impl_->start_acceptor(lfd);
+    return static_cast<int>(ntohs(bound.sin_port));
+}
+
+void server::add_client(int fd) { impl_->adopt(fd); }
+
+void server::stop() { impl_->stop(); }
+
+std::uint64_t server::requests_served() const {
+    return impl_->served.load(std::memory_order_relaxed);
+}
+
+}  // namespace qubikos::serve

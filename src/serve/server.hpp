@@ -1,0 +1,87 @@
+// JSONL socket server for the routing service.
+//
+// Transport + scheduling only — every byte of protocol semantics lives
+// in serve/request.*. The server owns:
+//
+//   accept thread      one per listening socket (unix or TCP loopback)
+//   reader threads     one per client: split the byte stream into lines,
+//                      enforce the max-line bound, push into the
+//                      client's bounded queue (blocking when full — the
+//                      stalled read is the backpressure signal; the
+//                      kernel socket buffer does the rest)
+//   dispatcher thread  gathers the pending requests of all clients into
+//                      a batch, fans the batch out over
+//                      thread_pool::shared() (slot machinery shared with
+//                      SABRE trials and the campaign worker — a serve
+//                      daemon and a routing hot loop contend for the
+//                      same pool instead of oversubscribing cores), then
+//                      writes responses back in batch order.
+//
+// Ordering: within one client, responses always come back in request
+// order (queues are FIFO and the batch preserves per-client order);
+// across clients no order is promised. Requests of one batch execute
+// concurrently, which is safe because engine execution is stateless per
+// request (the context cache is internally synchronized).
+//
+// Shutdown (stop()): listeners close, client reads half-close, queued
+// requests drain and their responses flush before sockets close — a
+// client that stops sending always gets every answer it paid for.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <memory>
+
+namespace qubikos::serve {
+
+class engine;
+
+struct server_options {
+    /// Reject (and answer with an oversized_line envelope) any request
+    /// line longer than this many bytes.
+    std::size_t max_line_bytes = 1u << 20;
+    /// Bounded per-client queue depth; a reader blocks when its client
+    /// has this many requests pending.
+    std::size_t max_queued_per_client = 64;
+    /// Cap on concurrent request execution within one batch; 0 = the
+    /// shared pool's size.
+    std::size_t max_batch_workers = 0;
+};
+
+class server {
+public:
+    /// The engine must outlive the server.
+    explicit server(engine& eng, server_options options = {});
+    ~server();
+
+    server(const server&) = delete;
+    server& operator=(const server&) = delete;
+
+    /// Binds a unix-domain socket at `path` (unlinking a stale one) and
+    /// starts accepting. Throws std::runtime_error on bind failure.
+    void listen_unix(const std::string& path);
+
+    /// Binds 127.0.0.1:<port> (0 = ephemeral) and starts accepting;
+    /// returns the bound port.
+    int listen_tcp(int port);
+
+    /// Adopts an already-connected socket (e.g. one end of a
+    /// socketpair) as a client. The server owns the fd from here on.
+    void add_client(int fd);
+
+    /// Stops accepting, half-closes client reads, drains every queued
+    /// request, flushes responses, closes sockets and joins all threads.
+    /// Idempotent; also run by the destructor.
+    void stop();
+
+    /// Total requests answered so far (including error envelopes).
+    [[nodiscard]] std::uint64_t requests_served() const;
+
+private:
+    struct impl;
+    std::unique_ptr<impl> impl_;
+};
+
+}  // namespace qubikos::serve

@@ -322,6 +322,38 @@ std::string describe_tool(const std::string& name) {
     return out;
 }
 
+json::value tool_info_to_json(const tool_info& info) {
+    json::array options;
+    for (const auto& option : info.options) {
+        json::object o;
+        o["default"] = option.default_value;
+        o["doc"] = option.doc;
+        o["key"] = option.key;
+        o["kind"] = option_kind_name(option.kind);
+        if (option.kind != option_kind::boolean) {
+            o["maximum"] = option.maximum;
+            o["minimum"] = option.minimum;
+        }
+        options.push_back(json::value(std::move(o)));
+    }
+    json::object tool;
+    tool["doc"] = info.doc;
+    tool["name"] = info.name;
+    tool["options"] = json::value(std::move(options));
+    return json::value(std::move(tool));
+}
+
+json::value registry_to_json() {
+    json::array tools;
+    for (const auto& name : registered_tool_names()) {
+        tools.push_back(tool_info_to_json(tool_registry_info(name)));
+    }
+    json::object doc;
+    doc["schema"] = "qubikos.tools.v1";
+    doc["tools"] = json::value(std::move(tools));
+    return json::value(std::move(doc));
+}
+
 std::string render_tool_table() {
     ascii_table table({"tool", "options", "doc"});
     for (const auto& name : registered_tool_names()) {

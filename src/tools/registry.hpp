@@ -122,6 +122,18 @@ struct tool_selection {
 /// `qubikos_cli tools describe` output; snapshot-pinned by test).
 [[nodiscard]] std::string describe_tool(const std::string& name);
 
+/// One tool's self-description as JSON: {"doc", "name", "options":
+/// [{"default", "doc", "key", "kind", "maximum", "minimum"}]} with the
+/// options in schema order. Machine-readable counterpart of
+/// describe_tool for serve clients and `tools describe <tool> --json`.
+[[nodiscard]] json::value tool_info_to_json(const tool_info& info);
+
+/// The whole registry as JSON ({"schema": "qubikos.tools.v1", "tools":
+/// [...]} in registration order) — the `tools describe --json` document
+/// and the serve protocol's "tools" op payload. Byte-deterministic for
+/// a fixed registry (snapshot-pinned by test).
+[[nodiscard]] json::value registry_to_json();
+
 /// One-line-per-tool table of the whole registry (`tools list`).
 [[nodiscard]] std::string render_tool_table();
 

@@ -18,9 +18,7 @@ bool value::contains(const std::string& key) const {
     return kind_ == kind::object && obj_->count(key) > 0;
 }
 
-namespace {
-
-void write_escaped(std::string& out, const std::string& s) {
+void append_quoted(std::string& out, const std::string& s) {
     out += '"';
     for (const char c : s) {
         switch (c) {
@@ -41,6 +39,15 @@ void write_escaped(std::string& out, const std::string& s) {
     }
     out += '"';
 }
+
+std::string quoted(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    append_quoted(out, s);
+    return out;
+}
+
+namespace {
 
 void write_number(std::string& out, double d) {
     if (!std::isfinite(d)) throw error("json: non-finite number");
@@ -66,7 +73,7 @@ void value::write(std::string& out, int indent, int depth) const {
         case kind::null: out += "null"; return;
         case kind::boolean: out += bool_ ? "true" : "false"; return;
         case kind::number: write_number(out, num_); return;
-        case kind::string: write_escaped(out, str_); return;
+        case kind::string: append_quoted(out, str_); return;
         case kind::array: {
             const auto& arr = *arr_;
             if (arr.empty()) {
@@ -97,7 +104,7 @@ void value::write(std::string& out, int indent, int depth) const {
                 if (!first) out += ',';
                 first = false;
                 newline(out, indent, depth + 1);
-                write_escaped(out, key);
+                append_quoted(out, key);
                 out += indent < 0 ? ":" : ": ";
                 val.write(out, indent, depth + 1);
             }

@@ -96,4 +96,13 @@ private:
 /// Parse a complete JSON document; trailing garbage is an error.
 [[nodiscard]] value parse(const std::string& text);
 
+/// Appends `s` to `out` as a JSON string literal (quotes included) —
+/// THE escaping routine of the codebase. value::dump, the serve
+/// response emitter and the trace flusher all funnel through here so a
+/// control character or quote can never reach an output stream raw.
+void append_quoted(std::string& out, const std::string& s);
+
+/// Convenience form of append_quoted.
+[[nodiscard]] std::string quoted(const std::string& s);
+
 }  // namespace qubikos::json

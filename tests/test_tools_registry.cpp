@@ -245,6 +245,47 @@ TEST(tools_registry, describe_output_snapshot) {
     }
 }
 
+TEST(tools_registry, json_dump_snapshot) {
+    // `tools describe --json` and the serve protocol's "tools" op are
+    // machine-readable interfaces: clients parse them, so the document
+    // is byte-deterministic and its shape is pinned (one full tool, plus
+    // the envelope).
+    EXPECT_EQ(
+        tools::tool_info_to_json(tools::tool_registry_info("qmap")).dump(),
+        "{\"doc\":\"layered A* swap search with greedy fallback (QMAP, Zulehner/Wille)\","
+        "\"name\":\"qmap\",\"options\":["
+        "{\"default\":20000,\"doc\":\"A* node budget per layer before falling back to "
+        "greedy routing\",\"key\":\"node_limit\",\"kind\":\"int\",\"maximum\":2147483647,"
+        "\"minimum\":0},"
+        "{\"default\":0.75,\"doc\":\"weight of the next-layer lookahead term (0 disables "
+        "it)\",\"key\":\"lookahead_weight\",\"kind\":\"real\",\"maximum\":2147483647,"
+        "\"minimum\":0},"
+        "{\"default\":25,\"doc\":\"leading two-qubit gates the initial placement sees "
+        "(0 = whole circuit)\",\"key\":\"placement_window\",\"kind\":\"int\","
+        "\"maximum\":2147483647,\"minimum\":0}]}");
+
+    const json::value doc = tools::registry_to_json();
+    EXPECT_EQ(doc.at("schema").as_string(), "qubikos.tools.v1");
+    const auto& listed = doc.at("tools").as_array();
+    const auto names = tools::registered_tool_names();
+    ASSERT_EQ(listed.size(), names.size());  // registration order, all tools
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(listed[i].at("name").as_string(), names[i]);
+        EXPECT_FALSE(listed[i].at("doc").as_string().empty());
+    }
+    // Byte-determinism: two dumps agree.
+    EXPECT_EQ(doc.dump(), tools::registry_to_json().dump());
+
+    // Boolean options omit the numeric range keys instead of emitting a
+    // meaningless [0, INT32_MAX].
+    const json::value sabre = tools::tool_info_to_json(tools::tool_registry_info("sabre"));
+    for (const auto& option : sabre.at("options").as_array()) {
+        const bool is_bool = option.at("kind").as_string() == "bool";
+        EXPECT_EQ(option.contains("minimum"), !is_bool) << option.at("key").as_string();
+        EXPECT_EQ(option.contains("maximum"), !is_bool) << option.at("key").as_string();
+    }
+}
+
 TEST(tools_registry, register_tool_rejects_duplicates_and_bad_schemas) {
     EXPECT_THROW(tools::register_tool({"tket", "dup", {}},
                                       [](const json::value&,
