@@ -29,9 +29,11 @@
 #include "obs/obs.hpp"
 #include "router/common.hpp"
 #include "router/sabre.hpp"
+#include "router/score_kernel.hpp"
 #include "tools/context.hpp"
 #include "tools/registry.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -155,7 +157,7 @@ json::value time_obs_overhead(int reps, std::size_t gates) {
     const mapping initial =
         mapping::identity(instance.logical.num_qubits(), device.num_qubits());
     router::sabre_options options;
-    const int obs_reps = std::max(reps, 7);  // 3% gates need the extra noise filtering
+    const int obs_reps = std::max(reps, 7);  // a few-% gate needs the extra noise filtering
     const bool was_enabled = obs::enabled();
     std::size_t swaps_on = 0;
     std::size_t swaps_off = 0;
@@ -172,7 +174,11 @@ json::value time_obs_overhead(int reps, std::size_t gates) {
                         .swap_count();
     });
     obs::set_enabled(was_enabled);
-    const double threshold = 1.03;
+    // The absolute telemetry cost is a few counter flushes per route; the
+    // vectorized score kernel shrank the route itself, so the same cost is
+    // a larger fraction of a faster denominator — 5% keeps the gate about
+    // as tight in absolute microseconds as the pre-kernel 3% was.
+    const double threshold = 1.05;
     const double ratio =
         seconds_disabled > 0.0 ? seconds_enabled / seconds_disabled : 1.0;
     std::printf("  obs_overhead     %-12s %9.3fx (on %.1f us, off %.1f us, ceiling %.2fx)\n",
@@ -283,7 +289,10 @@ json::value time_sabre_trials(std::size_t gates, int trials) {
     // validity flag the regression gate keys off instead of silently
     // gating 1-core runs.
     const std::size_t max_workers = thread_pool::shared().size();
-    const bool scaling_valid = max_workers >= 2;
+    // Two live workers timesharing one core cannot show a speedup, so
+    // scaling is only measurable when the hardware has >= 2 cores too.
+    const bool scaling_valid =
+        max_workers >= 2 && std::thread::hardware_concurrency() >= 2;
 
     std::vector<std::size_t> thread_counts = {1, 2,
                                               thread_pool::resolve_threads(0)};
@@ -358,7 +367,7 @@ json::value time_trial_arena(std::size_t gates, bool& ok) {
     // copies into a grown buffer.
     const auto device = arch::sycamore54();
     const auto instance = make_instance(device, 10, gates);
-    const distance_matrix dist(device.coupling);
+    const distance_provider dist(device.coupling);
 
     const auto count_allocs = [&](int trials) {
         router::sabre_options options;
@@ -402,7 +411,7 @@ json::value time_sabre_portfolio(std::size_t gates, bool& ok) {
     // result itself is thread-count-invariant either way.
     const auto device = arch::sycamore54();
     const auto instance = make_instance(device, 10, gates);
-    const distance_matrix dist(device.coupling);
+    const distance_provider dist(device.coupling);
 
     router::sabre_options plain;
     plain.trials = 32;
@@ -453,6 +462,175 @@ json::value time_sabre_portfolio(std::size_t gates, bool& ok) {
                         {"portfolio_seconds", port_seconds}};
 }
 
+json::value time_score_kernel(int reps, std::size_t gates, bool& ok) {
+    // Two claims, measured separately:
+    //   1. throughput — the dispatched kernel beats the forced-scalar
+    //      baseline on a realistic decision shape (gated at 1.2x by
+    //      bench_regression_gate when a vector backend is active);
+    //   2. identity — scalar and dispatched backends produce the exact
+    //      same scores and the exact same routed circuit.
+    const auto device = arch::sycamore54();
+    const distance_provider dist(device.coupling);
+    const auto n = static_cast<std::uint64_t>(device.num_qubits());
+    rng random(2024);
+
+    // A representative decision point: every coupling edge as a
+    // candidate, a wide front layer, a full extended set.
+    constexpr std::size_t kFront = 24;
+    constexpr std::size_t kExt = 20;
+    std::vector<std::int32_t> front_p0(kFront);
+    std::vector<std::int32_t> front_p1(kFront);
+    std::vector<std::int32_t> ext_p0(kExt);
+    std::vector<std::int32_t> ext_p1(kExt);
+    for (auto& p : front_p0) p = static_cast<std::int32_t>(random.below(n));
+    for (auto& p : front_p1) p = static_cast<std::int32_t>(random.below(n));
+    for (auto& p : ext_p0) p = static_cast<std::int32_t>(random.below(n));
+    for (auto& p : ext_p1) p = static_cast<std::int32_t>(random.below(n));
+    const std::vector<double> ext_weight(kExt, 1.0);
+    const std::vector<edge>& candidates = device.coupling.edges();
+
+    router::score_batch batch;
+    batch.front_p0 = front_p0.data();
+    batch.front_p1 = front_p1.data();
+    batch.front_gates = kFront;
+    batch.ext_p0 = ext_p0.data();
+    batch.ext_p1 = ext_p1.data();
+    batch.ext_gates = kExt;
+    batch.ext_weight = ext_weight.data();
+    batch.ext_norm = static_cast<double>(kExt);
+    batch.dist = &dist;
+
+    std::vector<double> basic_scalar(candidates.size());
+    std::vector<double> la_scalar(candidates.size());
+    std::vector<double> basic_auto(candidates.size());
+    std::vector<double> la_auto(candidates.size());
+    std::vector<std::int32_t> scratch;
+
+    const int calls = 2000;
+    router::force_simd_backend(router::simd_backend::scalar);
+    const double seconds_scalar = best_seconds(reps, [&] {
+        for (int c = 0; c < calls; ++c) {
+            router::score_candidates(batch, candidates.data(), candidates.size(),
+                                     basic_scalar.data(), la_scalar.data(), scratch);
+        }
+    });
+    router::reset_simd_backend_from_env();
+    const router::simd_backend backend = router::active_simd_backend();
+    const bool vectorized = backend != router::simd_backend::scalar;
+    const double seconds_auto = best_seconds(reps, [&] {
+        for (int c = 0; c < calls; ++c) {
+            router::score_candidates(batch, candidates.data(), candidates.size(),
+                                     basic_auto.data(), la_auto.data(), scratch);
+        }
+    });
+    // Exact double comparison on purpose: the backends promise
+    // bit-identical scores, not close ones.
+    const bool identical_scores = basic_scalar == basic_auto && la_scalar == la_auto;
+
+    const auto instance = make_instance(device, 10, gates);
+    router::sabre_options options;
+    options.trials = 4;
+    options.threads = 1;
+    router::force_simd_backend(router::simd_backend::scalar);
+    const auto routed_scalar = router::route_sabre(instance.logical, device.coupling, dist, options);
+    router::reset_simd_backend_from_env();
+    const auto routed_auto = router::route_sabre(instance.logical, device.coupling, dist, options);
+    const bool identical_swaps =
+        routed_scalar.swap_count() == routed_auto.swap_count() &&
+        routed_scalar.physical.gates() == routed_auto.physical.gates();
+
+    const double speedup = seconds_auto > 0.0 ? seconds_scalar / seconds_auto : 1.0;
+    const double floor = 1.2;
+    std::printf("  score_kernel     backend %-6s %6.2fx vs scalar (%.0f ns -> %.0f ns per call)%s\n",
+                router::simd_backend_name(backend), speedup,
+                seconds_scalar / calls * 1e9, seconds_auto / calls * 1e9,
+                identical_scores && identical_swaps ? "" : "  ERROR: backends disagree");
+    if (!identical_scores || !identical_swaps) ok = false;
+    return json::object{{"arch", device.name},
+                        {"backend", router::simd_backend_name(backend)},
+                        {"vectorized", vectorized},
+                        {"candidates", candidates.size()},
+                        {"front_gates", kFront},
+                        {"ext_gates", kExt},
+                        {"calls", calls},
+                        {"seconds_scalar_per_call", seconds_scalar / calls},
+                        {"seconds_auto_per_call", seconds_auto / calls},
+                        {"speedup", speedup},
+                        {"speedup_floor", floor},
+                        {"identical_scores", identical_scores},
+                        {"identical_swaps", identical_swaps},
+                        {"swaps", routed_auto.swap_count()}};
+}
+
+json::value time_distance_lazy(bool& ok) {
+    // Part 1 — equivalence: eagle127 routed through a forced-dense and a
+    // forced-lazy provider must produce the identical circuit.
+    const auto equiv_device = arch::eagle127();
+    const auto instance = make_instance(equiv_device, 10, 400);
+    router::sabre_options options;
+    options.trials = 2;
+    options.threads = 1;
+    distance_options dense_opts;
+    dense_opts.mode = distance_options::storage_mode::dense;
+    distance_options lazy_opts;
+    lazy_opts.mode = distance_options::storage_mode::lazy;
+    const distance_provider dense_dist(equiv_device.coupling, dense_opts);
+    const distance_provider lazy_dist(equiv_device.coupling, lazy_opts);
+    const auto routed_dense =
+        router::route_sabre(instance.logical, equiv_device.coupling, dense_dist, options);
+    const auto routed_lazy =
+        router::route_sabre(instance.logical, equiv_device.coupling, lazy_dist, options);
+    const bool identical_swaps =
+        routed_dense.swap_count() == routed_lazy.swap_count() &&
+        routed_dense.physical.gates() == routed_lazy.physical.gates();
+
+    // Part 2 — scale: a 64-qubit workload routed end-to-end on a
+    // 2000+-qubit heavy-hex device. The automatic policy must pick the
+    // lazy backend, and the route must touch only the rows near the
+    // mapped region — never a dense O(V^2) build.
+    const auto big = arch::heavy_hex(32, 56);
+    const int big_n = big.num_qubits();
+    constexpr int kCircuitQubits = 64;
+    rng random(7);
+    circuit logical(kCircuitQubits);
+    for (int i = 0; i < 200; ++i) {
+        const int a = static_cast<int>(random.below(kCircuitQubits));
+        int b = static_cast<int>(random.below(kCircuitQubits - 1));
+        if (b >= a) ++b;
+        logical.append(gate::cx(a, b));
+    }
+    const mapping initial = mapping::identity(kCircuitQubits, big_n);
+    const distance_provider big_dist(big.coupling);
+    std::size_t big_swaps = 0;
+    const double seconds_route = best_seconds(1, [&] {
+        big_swaps = router::route_sabre_with_initial(logical, big.coupling, big_dist, initial)
+                        .swap_count();
+    });
+    const double row_fraction =
+        static_cast<double>(big_dist.rows_built()) / static_cast<double>(big_n);
+    const double max_row_fraction = 0.5;
+    const bool lazy_ok = big_dist.is_lazy() && row_fraction <= max_row_fraction;
+
+    std::printf("  distance_lazy    %s: %s; %s (%d qubits): %zu/%d rows (%.1f%%), %.1f ms route%s\n",
+                equiv_device.name.c_str(),
+                identical_swaps ? "lazy==dense" : "ERROR: lazy!=dense", big.name.c_str(),
+                big_n, big_dist.rows_built(), big_n, row_fraction * 100.0,
+                seconds_route * 1e3, lazy_ok ? "" : "  ERROR: lazy policy violated");
+    if (!identical_swaps || !lazy_ok) ok = false;
+    return json::object{{"equiv_arch", equiv_device.name},
+                        {"identical_swaps", identical_swaps},
+                        {"equiv_swaps", routed_lazy.swap_count()},
+                        {"big_arch", big.name},
+                        {"big_qubits", big_n},
+                        {"circuit_qubits", kCircuitQubits},
+                        {"is_lazy", big_dist.is_lazy()},
+                        {"rows_built", big_dist.rows_built()},
+                        {"row_fraction", row_fraction},
+                        {"max_row_fraction", max_row_fraction},
+                        {"big_swaps", big_swaps},
+                        {"seconds_route", seconds_route}};
+}
+
 int run_timed_sections() {
     const bench::scale s = bench::bench_scale();
     const int reps = s == bench::scale::smoke ? 3 : (s == bench::scale::paper ? 50 : 10);
@@ -483,6 +661,8 @@ int run_timed_sections() {
     doc["trial_arena"] = time_trial_arena(gates, ok);
     doc["route_sabre_trials"] = time_sabre_trials(gates, 32);
     doc["sabre_portfolio"] = time_sabre_portfolio(gates, ok);
+    doc["score_kernel"] = time_score_kernel(reps, gates, ok);
+    doc["distance_lazy"] = time_distance_lazy(ok);
 
     const std::string path = "BENCH_micro.json";
     std::ofstream file(path);

@@ -78,7 +78,7 @@ int main() {
             const auto ml = router::route_mlqls(instance.logical, device.coupling, mo);
             record("mlqls", mlqls_acc, ml.initial, ml.swap_count());
 
-            const distance_matrix dist(device.coupling);
+            const distance_provider dist(device.coupling);
             const mapping greedy =
                 router::greedy_placement(instance.logical, device.coupling, dist);
             const auto greedy_routed = router::route_sabre_with_initial(

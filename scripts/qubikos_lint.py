@@ -28,6 +28,12 @@ C++ code silently breaks that promise:
            clear()/reuse it.
   LINT-001 suppression directive without a reason (see below).
   LINT-002 suppression directive that matched no finding (stale allow).
+  LINT-003 a file on the REQUIRED_HOT_PATH list is missing its
+           `// qubikos-lint: hot-path` marker.  The routing inner loops
+           (sabre.cpp, common.cpp, score_kernel.cpp) must stay opted in
+           to PERF-001 — without this rule, deleting the marker comment
+           would silently switch the allocation lint off for exactly the
+           files it exists for.
 
 Suppressions: a finding is silenced by a directive on the same line or the
 line immediately above:
@@ -66,6 +72,15 @@ RULES = {
     "PERF-001": "allocation inside a loop in a hot-path file",
     "LINT-001": "qubikos-lint suppression without a reason",
     "LINT-002": "qubikos-lint suppression matched no finding",
+    "LINT-003": "required hot-path file is missing its hot-path marker",
+}
+
+# The routers' inner loops: these files must always carry the
+# `// qubikos-lint: hot-path` marker so PERF-001 keeps covering them.
+REQUIRED_HOT_PATH = {
+    "src/router/common.cpp",
+    "src/router/sabre.cpp",
+    "src/router/score_kernel.cpp",
 }
 
 ALLOW_RE = re.compile(r"//\s*qubikos-lint:\s*allow\((?P<rule>[A-Z]+-\d+)\)\s*(?P<reason>.*)")
@@ -304,6 +319,10 @@ def lint_file(path: str, rel: str) -> tuple[list[Finding], int]:
 
     def add(line_no: int, rule: str, message: str) -> None:
         findings.append(Finding(rel, line_no, rule, message))
+
+    if rel.replace(os.sep, "/") in REQUIRED_HOT_PATH and not hot:
+        add(1, "LINT-003",
+            "routing hot-path file must carry a `// qubikos-lint: hot-path` marker")
 
     depths = loop_depths(ft.code_lines)
     for idx, code in enumerate(ft.code_lines):

@@ -134,7 +134,7 @@ void emission_buffer::reset() {
 // --- greedy placement -------------------------------------------------------
 
 mapping greedy_placement(const circuit& logical, const graph& coupling,
-                         const distance_matrix& dist, std::size_t gate_window) {
+                         const distance_provider& dist, std::size_t gate_window) {
     const int num_program = logical.num_qubits();
     const int num_physical = coupling.num_vertices();
     if (num_program > num_physical) {
@@ -167,7 +167,11 @@ mapping greedy_placement(const circuit& logical, const graph& coupling,
             long cost = 0;
             for (const int partner : interactions.neighbors(q)) {
                 const int pp = q2p[static_cast<std::size_t>(partner)];
-                if (pp != -1) cost += dist(p, pp);
+                // Source the lookup from the *placed* endpoint: distances
+                // are symmetric, so the value is unchanged, but a lazy
+                // provider then only materializes rows for the handful of
+                // already-placed partners instead of every candidate p.
+                if (pp != -1) cost += dist(pp, p);
             }
             // Prefer low distance to placed partners; ties by high degree
             // (center of the device), encoded by subtracting degree
@@ -187,15 +191,18 @@ mapping greedy_placement(const circuit& logical, const graph& coupling,
 // --- force_route -------------------------------------------------------------
 
 void force_route(int node, const gate_dag& dag, const graph& coupling,
-                 const distance_matrix& dist, mapping& current, emission_buffer& out) {
+                 const distance_provider& dist, mapping& current, emission_buffer& out) {
     const gate& g = dag.node_gate(node);
     int pa = current.physical(g.q0);
     const int pb = current.physical(g.q1);
+    // All comparisons read distances *to pb*, so one provider row covers
+    // the whole walk (distances are symmetric; values unchanged).
+    const std::int32_t* to_pb = dist.row(pb);
     while (!coupling.has_edge(pa, pb)) {
         // Move q0 one step along a shortest path toward q1.
         int next = -1;
         for (const int pn : coupling.neighbors(pa)) {
-            if (dist(pn, pb) < dist(pa, pb)) {
+            if (to_pb[pn] < to_pb[pa]) {
                 next = pn;
                 break;
             }

@@ -110,14 +110,14 @@ private:
 /// gates the placement sees (0 = all) — real placement passes only look
 /// at a prefix of the circuit.
 [[nodiscard]] mapping greedy_placement(const circuit& logical, const graph& coupling,
-                                       const distance_matrix& dist,
+                                       const distance_provider& dist,
                                        std::size_t gate_window = 0);
 
 /// Progress fallback: swaps one endpoint of `node`'s gate along a
 /// shortest path until the gate is executable, emitting the swaps.
 /// Guarantees any single gate becomes executable in <= diameter swaps.
 void force_route(int node, const gate_dag& dag, const graph& coupling,
-                 const distance_matrix& dist, mapping& current, emission_buffer& out);
+                 const distance_provider& dist, mapping& current, emission_buffer& out);
 
 /// Candidate swaps for a front layer: all coupling edges incident to the
 /// physical location of any front-gate operand (normalized, deduplicated,

@@ -91,7 +91,7 @@ coarse_level coarsen(const weighted_graph& fine) {
 
 /// Placement objective: sum of weight * distance over interaction edges.
 long placement_cost(const weighted_graph& g, const std::vector<int>& position,
-                    const distance_matrix& dist) {
+                    const distance_provider& dist) {
     long cost = 0;
     for (const auto& [e, w] : g.weights) {
         cost += w * dist(position[static_cast<std::size_t>(e.a)],
@@ -104,7 +104,7 @@ long placement_cost(const weighted_graph& g, const std::vector<int>& position,
 /// highest-degree physical qubit, then each next vertex minimizing
 /// weighted distance to placed partners.
 std::vector<int> place_coarse(const weighted_graph& g, const graph& coupling,
-                              const distance_matrix& dist) {
+                              const distance_provider& dist) {
     std::vector<int> order(static_cast<std::size_t>(g.num_vertices));
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
@@ -145,7 +145,7 @@ std::vector<int> place_coarse(const weighted_graph& g, const graph& coupling,
 /// Pairwise-exchange hill climbing over placed positions (also considers
 /// moving to free physical qubits).
 void refine(const weighted_graph& g, std::vector<int>& position, const graph& coupling,
-            const distance_matrix& dist, int sweeps, rng& random) {
+            const distance_provider& dist, int sweeps, rng& random) {
     std::vector<int> holder(static_cast<std::size_t>(coupling.num_vertices()), -1);
     const auto rebuild_holder = [&]() {
         std::fill(holder.begin(), holder.end(), -1);
@@ -191,7 +191,7 @@ namespace {
 /// One full V-cycle: coarsen, place, uncoarsen, refine. Returns the final
 /// fine-level placement (program qubit -> physical qubit).
 std::vector<int> multilevel_placement(const circuit& logical, const graph& coupling,
-                                      const distance_matrix& dist, const mlqls_options& options,
+                                      const distance_provider& dist, const mlqls_options& options,
                                       rng& random) {
     // 1. Coarsening chain.
     std::vector<weighted_graph> graphs{build_interaction(logical)};
@@ -248,12 +248,12 @@ std::vector<int> multilevel_placement(const circuit& logical, const graph& coupl
 
 routed_circuit route_mlqls(const circuit& logical, const graph& coupling,
                            const mlqls_options& options) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return route_mlqls(logical, coupling, dist, options);
 }
 
 routed_circuit route_mlqls(const circuit& logical, const graph& coupling,
-                           const distance_matrix& dist, const mlqls_options& options) {
+                           const distance_provider& dist, const mlqls_options& options) {
     routed_circuit best;
     std::size_t best_swaps = std::numeric_limits<std::size_t>::max();
     const int trials = std::max(1, options.placement_trials);

@@ -41,7 +41,7 @@ struct mlqls_options {
 /// `coupling` (shared per-device routing contexts amortize it across
 /// calls); results are bit-identical to the owning overload.
 [[nodiscard]] routed_circuit route_mlqls(const circuit& logical, const graph& coupling,
-                                         const distance_matrix& dist,
+                                         const distance_provider& dist,
                                          const mlqls_options& options = {});
 
 }  // namespace qubikos::router

@@ -60,7 +60,7 @@ std::string pack_mapping(const mapping& m) {
 /// at distance d needs at least d-1 swaps (a swap moves the pair's
 /// distance by at most 1).
 int admissible_h(const std::vector<std::pair<int, int>>& layer_pairs, const mapping& m,
-                 const distance_matrix& dist) {
+                 const distance_provider& dist) {
     int total = 0;
     int worst = 0;
     for (const auto& [qa, qb] : layer_pairs) {
@@ -72,7 +72,7 @@ int admissible_h(const std::vector<std::pair<int, int>>& layer_pairs, const mapp
 }
 
 double lookahead_h(const std::vector<std::pair<int, int>>& next_pairs, const mapping& m,
-                   const distance_matrix& dist, double weight) {
+                   const distance_provider& dist, double weight) {
     if (next_pairs.empty() || weight <= 0.0) return 0.0;
     double total = 0.0;
     for (const auto& [qa, qb] : next_pairs) {
@@ -114,7 +114,7 @@ struct search_node {
 std::optional<std::vector<edge>> astar_layer(const std::vector<std::pair<int, int>>& layer_pairs,
                                              const std::vector<std::pair<int, int>>& next_pairs,
                                              const mapping& start, const graph& coupling,
-                                             const distance_matrix& dist,
+                                             const distance_provider& dist,
                                              const qmap_options& options,
                                              std::size_t* expanded) {
     std::vector<search_node> nodes;
@@ -166,7 +166,7 @@ std::optional<std::vector<edge>> astar_layer(const std::vector<std::pair<int, in
 /// satisfied; forced shortest-path routing breaks plateaus.
 std::vector<edge> greedy_layer(const std::vector<std::pair<int, int>>& layer_pairs,
                                mapping state, const graph& coupling,
-                               const distance_matrix& dist) {
+                               const distance_provider& dist) {
     std::vector<edge> swaps;
     int stagnation = 0;
     const std::size_t hard_cap =
@@ -234,12 +234,12 @@ std::vector<edge> greedy_layer(const std::vector<std::pair<int, int>>& layer_pai
 
 routed_circuit route_qmap(const circuit& logical, const graph& coupling,
                           const qmap_options& options, qmap_stats* stats) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return route_qmap(logical, coupling, dist, options, stats);
 }
 
 routed_circuit route_qmap(const circuit& logical, const graph& coupling,
-                          const distance_matrix& dist, const qmap_options& options,
+                          const distance_provider& dist, const qmap_options& options,
                           qmap_stats* stats) {
     return route_qmap_with_initial(
         logical, coupling, dist,
@@ -249,12 +249,12 @@ routed_circuit route_qmap(const circuit& logical, const graph& coupling,
 routed_circuit route_qmap_with_initial(const circuit& logical, const graph& coupling,
                                        const mapping& initial, const qmap_options& options,
                                        qmap_stats* stats) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return route_qmap_with_initial(logical, coupling, dist, initial, options, stats);
 }
 
 routed_circuit route_qmap_with_initial(const circuit& logical, const graph& coupling,
-                                       const distance_matrix& dist, const mapping& initial,
+                                       const distance_provider& dist, const mapping& initial,
                                        const qmap_options& options, qmap_stats* stats) {
     const gate_dag dag(logical);
 

@@ -46,7 +46,7 @@ struct qmap_stats {
 /// `coupling` (shared per-device routing contexts amortize it across
 /// calls); results are bit-identical to the owning overload.
 [[nodiscard]] routed_circuit route_qmap(const circuit& logical, const graph& coupling,
-                                        const distance_matrix& dist,
+                                        const distance_provider& dist,
                                         const qmap_options& options = {},
                                         qmap_stats* stats = nullptr);
 
@@ -61,7 +61,7 @@ struct qmap_stats {
 /// Precomputed-distance variant (see route_qmap above).
 [[nodiscard]] routed_circuit route_qmap_with_initial(const circuit& logical,
                                                      const graph& coupling,
-                                                     const distance_matrix& dist,
+                                                     const distance_provider& dist,
                                                      const mapping& initial,
                                                      const qmap_options& options = {},
                                                      qmap_stats* stats = nullptr);

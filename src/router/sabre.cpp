@@ -14,6 +14,7 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "router/common.hpp"
+#include "router/score_kernel.hpp"
 #include "util/check.hpp"
 #include "util/restart.hpp"
 #include "util/rng.hpp"
@@ -49,9 +50,9 @@ void publish_sabre_stats(const sabre_stats& s) {
 
 /// Every buffer one routing pass touches, bundled for reuse: a trial
 /// arena holds one of these and resets it per pass, so steady-state
-/// trials allocate nothing. The flat int32 operand buffers keep the
-/// score inner loop reading contiguous memory with no per-candidate
-/// branching.
+/// trials allocate nothing. The structure-of-arrays int32 operand
+/// buffers (one array per gate operand) are exactly the layout the
+/// batched score kernel consumes — contiguous lanes, no interleaving.
 struct pass_scratch {
     dag_frontier frontier;
     std::vector<double> decay;
@@ -60,9 +61,14 @@ struct pass_scratch {
     std::vector<int> extended;
     std::vector<char> lookahead_seen;
     std::vector<int> lookahead_queue;
-    std::vector<std::int32_t> front_phys;
-    std::vector<std::int32_t> ext_phys;
+    std::vector<std::int32_t> front_p0;
+    std::vector<std::int32_t> front_p1;
+    std::vector<std::int32_t> ext_p0;
+    std::vector<std::int32_t> ext_p1;
     std::vector<double> ext_weight;
+    std::vector<std::int32_t> ext_dist;
+    std::vector<double> basic_out;
+    std::vector<double> lookahead_out;
     std::vector<swap_score> scores;
     std::vector<std::size_t> best_indices;
 
@@ -89,7 +95,7 @@ struct pass_limits {
 /// decision point (not once per candidate x gate) into flat int32
 /// buffers, and the score / tie-break vectors keep their capacity across
 /// iterations.
-bool route_pass(const gate_dag& dag, const graph& coupling, const distance_matrix& dist,
+bool route_pass(const gate_dag& dag, const graph& coupling, const distance_provider& dist,
                 mapping& current, const sabre_options& options, rng& random,
                 emission_buffer* emit, const sabre_observer& observer,
                 std::size_t* force_route_count, pass_scratch& scratch,
@@ -105,8 +111,10 @@ bool route_pass(const gate_dag& dag, const graph& coupling, const distance_matri
 
     std::vector<int>& executable = scratch.executable;
     std::vector<edge>& candidates = scratch.candidates;
-    std::vector<std::int32_t>& front_phys = scratch.front_phys;
-    std::vector<std::int32_t>& ext_phys = scratch.ext_phys;
+    std::vector<std::int32_t>& front_p0 = scratch.front_p0;
+    std::vector<std::int32_t>& front_p1 = scratch.front_p1;
+    std::vector<std::int32_t>& ext_p0 = scratch.ext_p0;
+    std::vector<std::int32_t>& ext_p1 = scratch.ext_p1;
     std::vector<double>& ext_weight = scratch.ext_weight;
     std::vector<swap_score>& scores = scratch.scores;
     std::vector<std::size_t>& best_indices = scratch.best_indices;
@@ -119,14 +127,6 @@ bool route_pass(const gate_dag& dag, const graph& coupling, const distance_matri
     const auto over_incumbent = [&]() {
         return limits.incumbent != nullptr && emit != nullptr &&
                emit->swaps_emitted() > limits.incumbent->load(std::memory_order_relaxed);
-    };
-
-    // Distance of a gate (cached physical operands p0, p1) after
-    // hypothetically applying swap (pa, pb).
-    const auto dist_after = [&dist](int p0, int p1, int pa, int pb) {
-        const int m0 = p0 == pa ? pb : (p0 == pb ? pa : p0);
-        const int m1 = p1 == pa ? pb : (p1 == pb ? pa : p1);
-        return dist(m0, m1);
     };
 
     while (!frontier.done()) {
@@ -204,19 +204,22 @@ bool route_pass(const gate_dag& dag, const graph& coupling, const distance_matri
         const auto& front = frontier.front();
 
         // Physical operand locations, looked up once per decision point
-        // and shared by every candidate's score. Flattened to contiguous
-        // int32 pairs so the score loop streams sequential memory.
-        front_phys.clear();
+        // and shared by every candidate's score. Structure-of-arrays
+        // (one lane per operand) so the batched kernel reads contiguous
+        // memory.
+        front_p0.clear();
+        front_p1.clear();
         for (const int node : front) {
             const gate& g = dag.node_gate(node);
-            front_phys.push_back(current.physical(g.q0));
-            front_phys.push_back(current.physical(g.q1));
+            front_p0.push_back(current.physical(g.q0));
+            front_p1.push_back(current.physical(g.q1));
         }
-        ext_phys.clear();
+        ext_p0.clear();
+        ext_p1.clear();
         for (const int node : extended) {
             const gate& g = dag.node_gate(node);
-            ext_phys.push_back(current.physical(g.q0));
-            ext_phys.push_back(current.physical(g.q1));
+            ext_p0.push_back(current.physical(g.q0));
+            ext_p1.push_back(current.physical(g.q1));
         }
 
         // Extended-set position weights (uniform when lookahead_decay==1).
@@ -232,27 +235,35 @@ bool route_pass(const gate_dag& dag, const graph& coupling, const distance_matri
             }
         }
 
+        // All candidates of the decision point scored in one kernel call
+        // (scalar or SIMD — bit-identical either way; see score_kernel).
+        score_batch batch;
+        batch.front_p0 = front_p0.data();
+        batch.front_p1 = front_p1.data();
+        batch.front_gates = front_p0.size();
+        batch.ext_p0 = ext_p0.data();
+        batch.ext_p1 = ext_p1.data();
+        batch.ext_gates = ext_p0.size();
+        batch.ext_weight = ext_weight.data();
+        batch.ext_norm = ext_norm;
+        batch.extended_set_weight = options.extended_set_weight;
+        batch.dist = &dist;
+        scratch.basic_out.resize(candidates.size());
+        scratch.lookahead_out.resize(candidates.size());
+        score_candidates(batch, candidates.data(), candidates.size(),
+                         scratch.basic_out.data(), scratch.lookahead_out.data(),
+                         scratch.ext_dist);
+
         scores.clear();
         scores.reserve(candidates.size());
         double best_total = std::numeric_limits<double>::infinity();
-        for (const auto& cand : candidates) {
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
             swap_score s;
-            s.candidate = cand;
-            double basic = 0.0;
-            for (std::size_t i = 0; i < front_phys.size(); i += 2) {
-                basic += dist_after(front_phys[i], front_phys[i + 1], cand.a, cand.b);
-            }
-            s.basic = basic / static_cast<double>(front_phys.size() / 2);
-            if (!ext_phys.empty()) {
-                double ext = 0.0;
-                for (std::size_t i = 0; i < ext_phys.size(); i += 2) {
-                    ext += ext_weight[i / 2] *
-                           dist_after(ext_phys[i], ext_phys[i + 1], cand.a, cand.b);
-                }
-                s.lookahead = options.extended_set_weight * ext / ext_norm;
-            }
-            s.decay_factor = std::max(decay[static_cast<std::size_t>(cand.a)],
-                                      decay[static_cast<std::size_t>(cand.b)]);
+            s.candidate = candidates[c];
+            s.basic = scratch.basic_out[c];
+            s.lookahead = scratch.lookahead_out[c];
+            s.decay_factor = std::max(decay[static_cast<std::size_t>(candidates[c].a)],
+                                      decay[static_cast<std::size_t>(candidates[c].b)]);
             best_total = std::min(best_total, s.total());
             scores.push_back(s);
         }
@@ -329,7 +340,7 @@ struct trial_arena {
 struct trial_context {
     const circuit& logical;
     const graph& coupling;
-    const distance_matrix& dist;
+    const distance_provider& dist;
     const gate_dag& dag;
     const gate_dag& reverse_dag;
     const sabre_options& options;
@@ -567,12 +578,12 @@ routed_circuit route_sabre_portfolio(const trial_context& ctx, sabre_stats* stat
 routed_circuit route_sabre_with_initial(const circuit& logical, const graph& coupling,
                                         const mapping& initial, const sabre_options& options,
                                         const sabre_observer& observer, sabre_stats* stats) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return route_sabre_with_initial(logical, coupling, dist, initial, options, observer, stats);
 }
 
 routed_circuit route_sabre_with_initial(const circuit& logical, const graph& coupling,
-                                        const distance_matrix& dist, const mapping& initial,
+                                        const distance_provider& dist, const mapping& initial,
                                         const sabre_options& options,
                                         const sabre_observer& observer, sabre_stats* stats) {
     const obs::trace_span span("sabre.route");
@@ -618,12 +629,12 @@ routed_circuit route_sabre_with_initial(const circuit& logical, const graph& cou
 
 mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
                             const mapping& initial, const sabre_options& options) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return sabre_final_mapping(logical, coupling, dist, initial, options);
 }
 
 mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
-                            const distance_matrix& dist, const mapping& initial,
+                            const distance_provider& dist, const mapping& initial,
                             const sabre_options& options) {
     const gate_dag dag(logical);
     rng random(options.seed);
@@ -640,12 +651,12 @@ mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
 
 routed_circuit route_sabre(const circuit& logical, const graph& coupling,
                            const sabre_options& options, sabre_stats* stats) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return route_sabre(logical, coupling, dist, options, stats);
 }
 
 routed_circuit route_sabre(const circuit& logical, const graph& coupling,
-                           const distance_matrix& dist, const sabre_options& options,
+                           const distance_provider& dist, const sabre_options& options,
                            sabre_stats* stats) {
     validate_options(options);
     const obs::trace_span span("sabre.route");

@@ -154,12 +154,13 @@ struct sabre_stats {
                                          const sabre_options& options = {},
                                          sabre_stats* stats = nullptr);
 
-/// Same flow with a caller-provided all-pairs distance matrix for
-/// `coupling` (must match it). Lets a shared per-device routing context
-/// amortize the APSP construction across calls instead of rebuilding it
-/// per circuit; results are bit-identical to the owning overload.
+/// Same flow with a caller-provided distance provider for `coupling`
+/// (must match it). Lets a shared per-device routing context amortize
+/// the distance construction across calls instead of rebuilding it per
+/// circuit; results are bit-identical to the owning overload — and to
+/// each other across dense/lazy providers and kernel backends.
 [[nodiscard]] routed_circuit route_sabre(const circuit& logical, const graph& coupling,
-                                         const distance_matrix& dist,
+                                         const distance_provider& dist,
                                          const sabre_options& options = {},
                                          sabre_stats* stats = nullptr);
 
@@ -178,7 +179,7 @@ struct sabre_stats {
 /// Precomputed-distance variant (see route_sabre above).
 [[nodiscard]] routed_circuit route_sabre_with_initial(const circuit& logical,
                                                       const graph& coupling,
-                                                      const distance_matrix& dist,
+                                                      const distance_provider& dist,
                                                       const mapping& initial,
                                                       const sabre_options& options = {},
                                                       const sabre_observer& observer = {},
@@ -193,7 +194,7 @@ struct sabre_stats {
 
 /// Precomputed-distance variant (see route_sabre above).
 [[nodiscard]] mapping sabre_final_mapping(const circuit& logical, const graph& coupling,
-                                          const distance_matrix& dist, const mapping& initial,
+                                          const distance_provider& dist, const mapping& initial,
                                           const sabre_options& options = {});
 
 }  // namespace qubikos::router

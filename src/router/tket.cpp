@@ -41,12 +41,12 @@ std::vector<std::vector<int>> upcoming_slices(const gate_dag& dag, const dag_fro
 
 routed_circuit route_tket(const circuit& logical, const graph& coupling,
                           const tket_options& options) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return route_tket(logical, coupling, dist, options);
 }
 
 routed_circuit route_tket(const circuit& logical, const graph& coupling,
-                          const distance_matrix& dist, const tket_options& options) {
+                          const distance_provider& dist, const tket_options& options) {
     return route_tket_with_initial(
         logical, coupling, dist,
         greedy_placement(logical, coupling, dist, options.placement_window), options);
@@ -54,12 +54,12 @@ routed_circuit route_tket(const circuit& logical, const graph& coupling,
 
 routed_circuit route_tket_with_initial(const circuit& logical, const graph& coupling,
                                        const mapping& initial, const tket_options& options) {
-    const distance_matrix dist(coupling);
+    const distance_provider dist(coupling);
     return route_tket_with_initial(logical, coupling, dist, initial, options);
 }
 
 routed_circuit route_tket_with_initial(const circuit& logical, const graph& coupling,
-                                       const distance_matrix& dist, const mapping& initial,
+                                       const distance_provider& dist, const mapping& initial,
                                        const tket_options& options) {
     const gate_dag dag(logical);
 

@@ -36,11 +36,11 @@ struct tket_options {
 [[nodiscard]] routed_circuit route_tket(const circuit& logical, const graph& coupling,
                                         const tket_options& options = {});
 
-/// Precomputed-distance variant: `dist` must be the APSP matrix of
+/// Precomputed-distance variant: `dist` must be a distance provider over
 /// `coupling` (shared per-device routing contexts amortize it across
 /// calls); results are bit-identical to the owning overload.
 [[nodiscard]] routed_circuit route_tket(const circuit& logical, const graph& coupling,
-                                        const distance_matrix& dist,
+                                        const distance_provider& dist,
                                         const tket_options& options = {});
 
 /// Routing-only entry point with a caller-fixed initial mapping —
@@ -53,7 +53,7 @@ struct tket_options {
 /// Precomputed-distance variant (see route_tket above).
 [[nodiscard]] routed_circuit route_tket_with_initial(const circuit& logical,
                                                      const graph& coupling,
-                                                     const distance_matrix& dist,
+                                                     const distance_provider& dist,
                                                      const mapping& initial,
                                                      const tket_options& options = {});
 

@@ -3,7 +3,8 @@
 // Owns what outlives a single request: an LRU cache of per-device
 // routing state. Every request names its device; building one costs
 // arch::by_name (graph construction) plus tools::make_routing_context
-// (the O(V*(V+E)) all-pairs distance matrix) — for the large devices a
+// (an all-pairs distance matrix for small devices, a lazy BFS-row
+// provider above the distance_options threshold) — for the devices a
 // daemon typically serves, that dwarfs routing a small circuit. The
 // engine builds each device once and every subsequent request on it
 // reuses the cached context, which is where bench_serve's cached-vs-cold
@@ -35,8 +36,9 @@ struct engine_options {
     /// false = rebuild device + context per request (the cold baseline
     /// bench_serve measures the cache against).
     bool cache_contexts = true;
-    /// LRU capacity in devices. Small on purpose: one entry is O(V^2)
-    /// doubles (eagle127 ~ 129 KB) and real workloads name few devices.
+    /// LRU capacity in devices. Small on purpose: a dense entry is
+    /// O(V^2) int32 (eagle127 ~ 64 KB; larger devices cache lazily-built
+    /// BFS rows instead) and real workloads name few devices.
     std::size_t max_cached_devices = 8;
 };
 

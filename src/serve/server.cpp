@@ -223,10 +223,13 @@ struct server::impl {
             // flush, never the readers.
             for (std::size_t i = 0; i < batch.size(); ++i) {
                 client_state* c = batch[i].client;
+                // Count before the write: a client that has read response
+                // i must never observe requests_served() < i+1, and the
+                // dispatcher is the only incrementing thread.
+                served.fetch_add(1, std::memory_order_relaxed);
                 if (!c->write_failed && !write_all(c->fd, responses[i] + "\n")) {
                     c->write_failed = true;
                 }
-                served.fetch_add(1, std::memory_order_relaxed);
             }
         }
     }

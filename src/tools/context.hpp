@@ -1,13 +1,16 @@
 // Shared per-device routing context.
 //
-// Every heuristic router needs the all-pairs shortest-path matrix of the
-// coupling graph; historically each routing call rebuilt it from scratch
-// (O(V*(V+E)) per circuit — measurable against small circuits, pure
-// waste in a (tool x instance) grid that routes hundreds of circuits on
-// one device). A routing_context computes it once per device; every
+// Every heuristic router needs coupling-graph distances; historically
+// each routing call rebuilt them from scratch (O(V*(V+E)) per circuit —
+// measurable against small circuits, pure waste in a (tool x instance)
+// grid that routes hundreds of circuits on one device). A
+// routing_context builds a distance_provider once per device; every
 // registry-made tool bound to the context reuses it, and falls back to a
 // local computation when handed a different graph, so sharing is purely
-// an optimization — results are bit-identical either way.
+// an optimization — results are bit-identical either way. Small devices
+// get the dense matrix; above the distance_options threshold (or under
+// QUBIKOS_LAZY_DIST) the provider serves lazily cached BFS rows, so a
+// thousand-qubit synthetic device never materializes O(V^2).
 #pragma once
 
 #include <memory>
@@ -21,24 +24,34 @@ namespace qubikos::tools {
 /// copy of the coupling graph so the context never dangles.
 class routing_context {
 public:
-    explicit routing_context(const graph& coupling);
+    explicit routing_context(const graph& coupling,
+                             distance_options options = distance_options::from_env());
 
     [[nodiscard]] const graph& coupling() const { return coupling_; }
-    [[nodiscard]] const distance_matrix& distances() const { return dist_; }
+    [[nodiscard]] const distance_provider& distances() const { return dist_; }
+
+    /// True when the provider serves lazily cached BFS rows instead of a
+    /// dense matrix (serve telemetry and benches report this).
+    [[nodiscard]] bool lazy_distances() const { return dist_.is_lazy(); }
 
     /// True when `g` is the graph this context was built from (vertex
     /// count and edge list compared — O(E), negligible next to routing).
     /// A logically-equal graph with a different edge insertion order
-    /// reports false; the tool then computes its own matrix, trading the
-    /// speedup for guaranteed correctness.
+    /// reports false; the tool then computes its own distances, trading
+    /// the speedup for guaranteed correctness.
     [[nodiscard]] bool matches(const graph& g) const;
 
 private:
     graph coupling_;
-    distance_matrix dist_;
+    distance_provider dist_;
 };
 
 /// Convenience: the shared_ptr form every tool factory consumes.
 [[nodiscard]] std::shared_ptr<const routing_context> make_routing_context(const graph& coupling);
+
+/// Explicit-policy overload (dense/lazy/threshold); the default reads
+/// QUBIKOS_LAZY_DIST.
+[[nodiscard]] std::shared_ptr<const routing_context> make_routing_context(
+    const graph& coupling, distance_options options);
 
 }  // namespace qubikos::tools

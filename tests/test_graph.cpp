@@ -2,7 +2,9 @@
 // connectivity utilities.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
+#include <thread>
 
 #include "graph/bfs.hpp"
 #include "graph/connectivity.hpp"
@@ -135,6 +137,114 @@ TEST(distance_matrix, diameter_of_known_graphs) {
     EXPECT_EQ(distance_matrix(cycle_graph(6)).diameter(), 3);
     EXPECT_EQ(distance_matrix(grid_graph(3, 4)).diameter(), 5);
     EXPECT_EQ(distance_matrix(complete_graph(5)).diameter(), 1);
+}
+
+TEST(distance_provider, lazy_matches_dense_values_and_diameter) {
+    rng random(41);
+    distance_options lazy_opts;
+    lazy_opts.mode = distance_options::storage_mode::lazy;
+    for (int trial = 0; trial < 10; ++trial) {
+        const graph g = random_connected_graph(random.range(2, 20), random.range(0, 12), random);
+        const distance_matrix dense(g);
+        const distance_provider lazy(g, lazy_opts);
+        ASSERT_TRUE(lazy.is_lazy());
+        for (int v = 0; v < g.num_vertices(); ++v) {
+            for (int u = 0; u < g.num_vertices(); ++u) {
+                EXPECT_EQ(lazy(v, u), dense(v, u));
+            }
+        }
+        // The release valve derives its default from diameter(); lazy and
+        // dense must agree exactly or routing would diverge by mode.
+        EXPECT_EQ(lazy.diameter(), dense.diameter());
+    }
+}
+
+TEST(distance_provider, mode_selection_by_threshold_and_force) {
+    const graph small = grid_graph(4, 4);   // 16 vertices
+    const graph larger = grid_graph(6, 6);  // 36 vertices
+
+    distance_options opts;  // automatic
+    opts.lazy_threshold = 20;
+    EXPECT_FALSE(distance_provider(small, opts).is_lazy());
+    EXPECT_TRUE(distance_provider(larger, opts).is_lazy());
+
+    distance_options forced_dense;
+    forced_dense.mode = distance_options::storage_mode::dense;
+    forced_dense.lazy_threshold = 1;
+    EXPECT_FALSE(distance_provider(larger, forced_dense).is_lazy());
+
+    distance_options forced_lazy;
+    forced_lazy.mode = distance_options::storage_mode::lazy;
+    EXPECT_TRUE(distance_provider(small, forced_lazy).is_lazy());
+}
+
+TEST(distance_provider, lazy_builds_rows_on_demand_only) {
+    const graph g = grid_graph(5, 5);
+    distance_options opts;
+    opts.mode = distance_options::storage_mode::lazy;
+    const distance_provider dist(g, opts);
+    const auto from_3 = bfs_distances(g, {3});
+    EXPECT_EQ(dist.rows_built(), 0u);
+    EXPECT_EQ(dist(3, 7), from_3[7]);
+    EXPECT_EQ(dist.rows_built(), 1u);
+    EXPECT_EQ(dist(3, 21), from_3[21]);  // same source: row is reused
+    EXPECT_EQ(dist.rows_built(), 1u);
+    (void)dist.row(9);
+    EXPECT_EQ(dist.rows_built(), 2u);
+    // Dense providers never report lazy rows and expose the flat matrix.
+    const distance_provider dense(g);
+    EXPECT_FALSE(dense.is_lazy());
+    EXPECT_NE(dense.dense_data(), nullptr);
+    EXPECT_EQ(dist.dense_data(), nullptr);
+}
+
+TEST(distance_provider, from_env_parses_modes_and_thresholds) {
+    const auto with_env = [](const char* value) {
+        if (value == nullptr) {
+            ::unsetenv("QUBIKOS_LAZY_DIST");
+        } else {
+            ::setenv("QUBIKOS_LAZY_DIST", value, 1);
+        }
+        const auto opts = distance_options::from_env();
+        ::unsetenv("QUBIKOS_LAZY_DIST");
+        return opts;
+    };
+    EXPECT_EQ(with_env(nullptr).mode, distance_options::storage_mode::automatic);
+    EXPECT_EQ(with_env(nullptr).lazy_threshold, 512);
+    EXPECT_EQ(with_env("dense").mode, distance_options::storage_mode::dense);
+    EXPECT_EQ(with_env("lazy").mode, distance_options::storage_mode::lazy);
+    const auto threshold = with_env("300");
+    EXPECT_EQ(threshold.mode, distance_options::storage_mode::automatic);
+    EXPECT_EQ(threshold.lazy_threshold, 300);
+    // Unparsable values fall back to the defaults rather than throwing —
+    // an env typo must not take down a routing service.
+    EXPECT_EQ(with_env("bogus").mode, distance_options::storage_mode::automatic);
+    EXPECT_EQ(with_env("bogus").lazy_threshold, 512);
+}
+
+TEST(distance_provider, concurrent_lazy_queries_are_consistent) {
+    rng random(53);
+    const graph g = random_connected_graph(60, 40, random);
+    const distance_matrix dense(g);
+    distance_options opts;
+    opts.mode = distance_options::storage_mode::lazy;
+    const distance_provider lazy(g, opts);
+    // Four threads race to materialize overlapping rows; every read must
+    // equal the dense answer regardless of which thread built the row.
+    std::vector<std::thread> workers;
+    std::vector<int> mismatches(4, 0);
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&, t] {
+            for (int v = t; v < g.num_vertices(); v += 2) {
+                for (int u = 0; u < g.num_vertices(); ++u) {
+                    if (lazy(v, u) != dense(v, u)) ++mismatches[static_cast<std::size_t>(t)];
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    for (const int m : mismatches) EXPECT_EQ(m, 0);
+    EXPECT_EQ(lazy.rows_built(), static_cast<std::size_t>(g.num_vertices()));
 }
 
 TEST(connectivity, components) {

@@ -11,7 +11,9 @@
 #include "router/mlqls.hpp"
 #include "router/qmap.hpp"
 #include "router/sabre.hpp"
+#include "router/score_kernel.hpp"
 #include "router/tket.hpp"
+#include "tools/registry.hpp"
 #include "util/rng.hpp"
 
 namespace qubikos {
@@ -222,7 +224,7 @@ TEST(router_common, lookahead_set_respects_limit_and_order) {
 TEST(router_common, greedy_placement_is_injective) {
     const auto device = arch::rochester53();
     const circuit logical = random_circuit(53, 200, 13);
-    const distance_matrix dist(device.coupling);
+    const distance_provider dist(device.coupling);
     const mapping m = router::greedy_placement(logical, device.coupling, dist);
     std::set<int> images;
     for (int q = 0; q < 53; ++q) images.insert(m.physical(q));
@@ -234,12 +236,62 @@ TEST(router_common, force_route_makes_gate_executable) {
     circuit c(6);
     c.append(gate::cx(0, 5));
     const gate_dag dag(c);
-    const distance_matrix dist(device.coupling);
+    const distance_provider dist(device.coupling);
     mapping m = mapping::identity(6, 6);
     router::emission_buffer emit(c, dag, 6);
     router::force_route(0, dag, device.coupling, dist, m, emit);
     EXPECT_TRUE(device.coupling.has_edge(m.physical(0), m.physical(5)));
     EXPECT_EQ(emit.swaps_emitted(), 4u);  // distance 5 -> 4 swaps
+}
+
+// The score kernel's determinism contract: the dispatched backend (AVX2
+// where the hardware has it) must route bit-identically to forced
+// scalar, for every registered tool — a weaker promise ("close scores")
+// would let vectorization silently change published swap counts.
+TEST(score_kernel, all_registry_tools_route_identically_across_backends) {
+    const auto device = arch::rochester53();
+    const circuit logical = random_circuit(device.num_qubits(), 150, 11);
+    for (const auto& name : tools::registered_tool_names()) {
+        auto tool = tools::make_tool(name);
+        router::force_simd_backend(router::simd_backend::scalar);
+        const auto scalar_routed = tool.run(logical, device.coupling);
+        router::reset_simd_backend_from_env();
+        const auto dispatched_routed = tool.run(logical, device.coupling);
+        EXPECT_EQ(scalar_routed.swap_count(), dispatched_routed.swap_count())
+            << name << " diverged under backend "
+            << router::simd_backend_name(router::active_simd_backend());
+        EXPECT_TRUE(scalar_routed.physical.gates() == dispatched_routed.physical.gates())
+            << name << " emitted different circuits across score backends";
+    }
+    router::reset_simd_backend_from_env();
+}
+
+// The lazy distance provider is an optimization, never an observable:
+// routed output must match the dense provider at every thread count
+// (concurrent trials race to materialize rows — first writer wins, all
+// readers see identical values).
+TEST(distance_provider_routing, lazy_matches_dense_at_1_2_4_threads) {
+    const auto device = arch::rochester53();
+    const circuit logical = random_circuit(device.num_qubits(), 200, 23);
+    distance_options dense_opts;
+    dense_opts.mode = distance_options::storage_mode::dense;
+    distance_options lazy_opts;
+    lazy_opts.mode = distance_options::storage_mode::lazy;
+    const distance_provider dense_dist(device.coupling, dense_opts);
+    for (const int threads : {1, 2, 4}) {
+        router::sabre_options options;
+        options.trials = 8;
+        options.threads = threads;
+        const distance_provider lazy_dist(device.coupling, lazy_opts);
+        const auto dense_routed =
+            router::route_sabre(logical, device.coupling, dense_dist, options);
+        const auto lazy_routed =
+            router::route_sabre(logical, device.coupling, lazy_dist, options);
+        EXPECT_EQ(dense_routed.swap_count(), lazy_routed.swap_count())
+            << "lazy diverged from dense at threads=" << threads;
+        EXPECT_TRUE(dense_routed.physical.gates() == lazy_routed.physical.gates())
+            << "lazy emitted a different circuit at threads=" << threads;
+    }
 }
 
 }  // namespace
